@@ -1,0 +1,102 @@
+// Shared plumbing for the figure-reproduction benchmark harnesses.
+//
+// Every bench binary prints the data series of one paper figure in a fixed
+// table format. Times are VIRTUAL seconds from the machine model (see
+// DESIGN.md): a JuRoPA-like switched fabric or a Juqueen-like torus. The
+// workload sizes default to values that let every binary finish on one core;
+// environment variables select paper-scale runs:
+//
+//   FIG_RANKS  - rank count for Figs. 6-8 (default 256, like the paper)
+//   FIG_N      - global particle count (default 110592; paper: 829440)
+//   FIG8_STEPS - time steps for Fig. 8 (default 150; paper: 1000)
+//   FIG9_STEPS - time steps per Fig. 9 configuration (default 10)
+//   FIG9_MAXP  - largest PM rank count in Fig. 9 (default 4096; paper 16384)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "fcs/fcs.hpp"
+#include "md/simulation.hpp"
+#include "minimpi/cart.hpp"
+#include "pm/pm_solver.hpp"
+#include "md/simulation.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+
+namespace bench {
+
+inline std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+                      : def;
+}
+
+/// The paper's benchmark box: cubic, 248^3, fully periodic.
+inline md::SystemConfig paper_system(std::size_t n_global,
+                                     md::InitialDistribution dist) {
+  md::SystemConfig sys;
+  sys.box = domain::Box({0, 0, 0}, {248, 248, 248}, {true, true, true});
+  sys.n_global = n_global;
+  sys.jitter = 0.25;
+  sys.distribution = dist;
+  return sys;
+}
+
+inline std::shared_ptr<const sim::NetworkModel> juropa_like() {
+  return std::make_shared<sim::SwitchedNetwork>();
+}
+
+inline std::shared_ptr<const sim::NetworkModel> juqueen_like(int nranks) {
+  return std::make_shared<sim::TorusNetwork>(
+      sim::TorusNetwork::balanced_dims(nranks, 3));
+}
+
+/// Configure an fcs handle for a solver on the paper system (modeled
+/// compute; PM uses the paper's cutoff of 4.8 when it fits the grid).
+inline void configure_solver(fcs::Fcs& handle, const std::string& solver,
+                             const domain::Box& box, int nranks) {
+  handle.set_common(box);
+  handle.set_accuracy(1e-3);
+  if (solver == "pm" || solver == "p2nfft") {
+    auto& pm_solver = dynamic_cast<pm::PmSolver&>(handle.solver());
+    // Paper cutoff 4.8; the halo must fit one subdomain.
+    const std::vector<int> dims = mpi::dims_create(nranks, 3);
+    const double min_sub = box.extent().x / dims[0];
+    pm_solver.set_cutoff(std::min(4.8, 0.9 * min_sub));
+    pm_solver.set_mesh(64);
+  }
+}
+
+struct SimOutcome {
+  md::SimulationResult result;
+  double makespan = 0.0;
+};
+
+/// Run one full simulation configuration on a fresh engine.
+inline SimOutcome run_configuration(
+    int nranks, std::shared_ptr<const sim::NetworkModel> net,
+    const md::SystemConfig& sys, const std::string& solver,
+    const md::SimulationConfig& sim_cfg, std::size_t stack_kb = 256) {
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  cfg.network = std::move(net);
+  cfg.stack_bytes = stack_kb * 1024;
+  sim::Engine engine(cfg);
+  SimOutcome outcome;
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    md::LocalParticles particles = md::generate_system(comm, sys);
+    fcs::Fcs handle(comm, solver);
+    configure_solver(handle, solver, sys.box, nranks);
+    md::SimulationResult res =
+        md::run_simulation(comm, handle, particles, sim_cfg);
+    if (comm.rank() == 0) outcome.result = std::move(res);
+  });
+  outcome.makespan = engine.makespan();
+  return outcome;
+}
+
+}  // namespace bench

@@ -1,0 +1,55 @@
+// Figure 6: influence of the initial particle distribution.
+//
+// One solver execution (method A) per combination of solver {fmm, pm} and
+// initial distribution {single process, random, process grid}; reported are
+// the total runtime and the runtimes for sorting the particles into the
+// solver's decomposition and for restoring the original order and
+// distribution. Paper setup: 256 processes on JuRoPA (switched network).
+//
+// Expected shape (paper): single >> random >> grid for the redistribution
+// phases; the grid distribution beats random by >= an order of magnitude.
+#include "bench_common.hpp"
+
+int main() {
+  const int nranks = static_cast<int>(bench::env_size("FIG_RANKS", 256));
+  const std::size_t n = bench::env_size("FIG_N", 262144);
+
+  std::printf("Fig. 6: initial distribution influence, %d ranks, %zu "
+              "particles, switched network (virtual seconds)\n",
+              nranks, n);
+  fcs::Table table({"solver", "distribution", "total[s]", "sort[s]",
+                    "restore[s]"});
+
+  for (const char* solver : {"fmm", "pm"}) {
+    std::vector<std::pair<md::InitialDistribution, const char*>> dists = {
+        {md::InitialDistribution::kSingleProcess, "single"},
+        {md::InitialDistribution::kRandom, "random"},
+        {md::InitialDistribution::kProcessGrid, "grid"}};
+    // For the FMM the solver-matching layout is the Z-curve decomposition
+    // (the paper's grid distribution coincided with it on its machine).
+    if (std::string(solver) == "fmm")
+      dists.emplace_back(md::InitialDistribution::kZOrderSegments, "zorder");
+    for (const auto& [dist, dist_name] : dists) {
+      const md::SystemConfig sys = bench::paper_system(n, dist);
+      md::SimulationConfig cfg;
+      cfg.box = sys.box;
+      cfg.steps = 0;  // a single solver execution (the initial one)
+      cfg.resort = false;
+      cfg.modeled_compute = true;
+      cfg.surrogate_motion = true;
+      bench::SimOutcome out = bench::run_configuration(
+          nranks, bench::juropa_like(), sys, solver, cfg);
+      const fcs::PhaseTimes& t = out.result.step_times.at(0);
+      table.begin_row()
+          .col(solver)
+          .col(dist_name)
+          .col(t.total, 4)
+          .col(t.sort, 4)
+          .col(t.restore, 4);
+    }
+  }
+  std::ostringstream oss;
+  table.print(oss);
+  std::fputs(oss.str().c_str(), stdout);
+  return 0;
+}

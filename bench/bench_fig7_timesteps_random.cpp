@@ -1,0 +1,57 @@
+// Figure 7: per-time-step runtimes with a RANDOM initial distribution,
+// method A (restore) vs method B (resort), for the initial solver execution
+// and the first 8 time steps. Paper setup: 256 processes on JuRoPA.
+//
+// Expected shape (paper): method A's sort/restore cost stays constant over
+// the steps (the random distribution is restored every time); method B's
+// sort + resort cost drops by 1-2 orders of magnitude after the first step;
+// the total drops to ~45 % (FMM) / ~20 % (PM) of method A.
+#include "bench_common.hpp"
+
+int main() {
+  const int nranks = static_cast<int>(bench::env_size("FIG_RANKS", 256));
+  const std::size_t n = bench::env_size("FIG_N", 262144);
+  const int steps = 8;
+
+  std::printf("Fig. 7: time steps with random initial distribution, %d "
+              "ranks, %zu particles (virtual seconds)\n",
+              nranks, n);
+
+  for (const char* solver : {"fmm", "pm"}) {
+    fcs::Table table({"step", "A_sort", "A_restore", "A_total", "B_sort",
+                      "B_resort", "B_total"});
+    md::SimulationResult res_a, res_b;
+    for (int variant = 0; variant < 2; ++variant) {
+      const md::SystemConfig sys =
+          bench::paper_system(n, md::InitialDistribution::kRandom);
+      md::SimulationConfig cfg;
+      cfg.box = sys.box;
+      cfg.steps = steps;
+      cfg.resort = variant == 1;
+      cfg.exploit_max_movement = false;  // Fig. 7 does not use max movement
+      cfg.modeled_compute = true;
+      cfg.surrogate_motion = true;
+      cfg.surrogate_step = 0.1;  // slight movement, like early time steps
+      bench::SimOutcome out = bench::run_configuration(
+          nranks, bench::juropa_like(), sys, solver, cfg);
+      (variant == 0 ? res_a : res_b) = std::move(out.result);
+    }
+    for (int s = 0; s <= steps; ++s) {
+      const auto& a = res_a.step_times.at(static_cast<std::size_t>(s));
+      const auto& b = res_b.step_times.at(static_cast<std::size_t>(s));
+      table.begin_row()
+          .col(s == 0 ? std::string("init") : std::to_string(s))
+          .col(a.sort, 4)
+          .col(a.restore, 4)
+          .col(a.total, 4)
+          .col(b.sort, 4)
+          .col(b.resort, 4)
+          .col(b.total, 4);
+    }
+    std::printf("\n%s solver:\n", solver);
+    std::ostringstream oss;
+    table.print(oss);
+    std::fputs(oss.str().c_str(), stdout);
+  }
+  return 0;
+}

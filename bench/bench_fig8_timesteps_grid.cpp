@@ -1,0 +1,89 @@
+// Figure 8: runtimes over a long simulation with a solver-matching initial
+// distribution, method A vs method B. Paper setup: 256 processes, grid
+// initial distribution, 1000 time steps.
+//
+// Expected shape (paper): both methods start with near-zero redistribution
+// cost (the initial distribution matches the solver's decomposition);
+// particle drift makes method A's sort+restore cost GROW over the steps
+// (up to ~50 % of the FMM step / ~75 % of the PM step at the end) while
+// method B's sort+resort stays flat at a few percent.
+//
+// Defaults are scaled for a single-core run (FIG8_STEPS=150); the particle
+// drift per step is chosen so the accumulated random-walk displacement
+// reaches the subdomain scale within the run, mimicking the paper's melt.
+#include "bench_common.hpp"
+
+int main() {
+  const int nranks = static_cast<int>(bench::env_size("FIG_RANKS", 256));
+  const std::size_t n = bench::env_size("FIG_N", 262144);
+  const int steps = static_cast<int>(bench::env_size("FIG8_STEPS", 150));
+  const int print_every = std::max(1, steps / 25);
+
+  // Random-walk drift: reach ~1.5 subdomain widths by the end of the run.
+  const std::vector<int> dims = mpi::dims_create(nranks, 3);
+  const double subdomain = 248.0 / dims[0];
+  const double drift_step = 1.5 * subdomain / std::sqrt(double(steps));
+
+  std::printf("Fig. 8: %d time steps with solver-matching initial "
+              "distribution, %d ranks, %zu particles, drift %.2f/step "
+              "(virtual seconds)\n",
+              steps, nranks, n, drift_step);
+
+  for (const char* solver : {"fmm", "pm"}) {
+    // The solver-matching layout: Z-curve segments for the FMM, the process
+    // grid for the PM solver (see DESIGN.md).
+    const auto dist = std::string(solver) == "fmm"
+                          ? md::InitialDistribution::kZOrderSegments
+                          : md::InitialDistribution::kProcessGrid;
+    md::SimulationResult res_a, res_b;
+    for (int variant = 0; variant < 2; ++variant) {
+      const md::SystemConfig sys = bench::paper_system(n, dist);
+      md::SimulationConfig cfg;
+      cfg.box = sys.box;
+      cfg.steps = steps;
+      cfg.resort = variant == 1;
+      cfg.exploit_max_movement = false;
+      cfg.modeled_compute = true;
+      cfg.surrogate_motion = true;
+      cfg.surrogate_step = drift_step;
+      bench::SimOutcome out = bench::run_configuration(
+          nranks, bench::juropa_like(), sys, solver, cfg);
+      (variant == 0 ? res_a : res_b) = std::move(out.result);
+    }
+    fcs::Table table({"step", "A_sort+restore", "A_total", "B_sort+resort",
+                      "B_total"});
+    for (int s = 1; s <= steps; s += print_every) {
+      const auto& a = res_a.step_times.at(static_cast<std::size_t>(s));
+      const auto& b = res_b.step_times.at(static_cast<std::size_t>(s));
+      table.begin_row()
+          .col(static_cast<long long>(s))
+          .col(a.sort + a.restore, 4)
+          .col(a.total, 4)
+          .col(b.sort + b.resort, 4)
+          .col(b.total, 4);
+    }
+    std::printf("\n%s solver:\n", solver);
+    std::ostringstream oss;
+    table.print(oss);
+    std::fputs(oss.str().c_str(), stdout);
+
+    // Summary: redistribution share of the step total, first vs last fifth.
+    auto share = [](const std::vector<fcs::PhaseTimes>& ts, std::size_t from,
+                    std::size_t to, bool restore) {
+      double redist = 0, total = 0;
+      for (std::size_t s = from; s < to; ++s) {
+        redist += ts[s].sort + (restore ? ts[s].restore : ts[s].resort);
+        total += ts[s].total;
+      }
+      return 100.0 * redist / total;
+    };
+    const std::size_t m = res_a.step_times.size();
+    std::printf("redistribution share of step total: method A %.1f%% -> "
+                "%.1f%%, method B %.1f%% -> %.1f%%\n",
+                share(res_a.step_times, 1, m / 5, true),
+                share(res_a.step_times, 4 * m / 5, m, true),
+                share(res_b.step_times, 1, m / 5, false),
+                share(res_b.step_times, 4 * m / 5, m, false));
+  }
+  return 0;
+}

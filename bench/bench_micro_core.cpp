@@ -1,0 +1,102 @@
+// google-benchmark micro benchmarks of the performance-critical kernels
+// (real wall-clock time of the library code, not virtual machine-model
+// time): Morton encoding, the radix sort permutation, the serial FFT, CIC
+// stencils, and the solid-harmonics evaluation.
+#include <benchmark/benchmark.h>
+
+#include "domain/morton.hpp"
+#include "fmm/harmonics.hpp"
+#include "pm/charge_grid.hpp"
+#include "pm/fft.hpp"
+#include "sortlib/local_sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+void BM_MortonEncode(benchmark::State& state) {
+  fcs::Rng rng(1);
+  std::vector<std::uint32_t> xs(4096);
+  for (auto& x : xs) x = static_cast<std::uint32_t>(rng() & 0x1fffff);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i + 2 < xs.size(); i += 3)
+      acc ^= domain::morton_encode(xs[i], xs[i + 1], xs[i + 2]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size() / 3));
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_RadixPermutation(benchmark::State& state) {
+  fcs::Rng rng(2);
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(state.range(0)));
+  for (auto& k : keys) k = rng() & 0xffffffffULL;
+  for (auto _ : state) {
+    auto order = sortlib::radix_sort_permutation(keys);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_RadixPermutation)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_Fft1d(benchmark::State& state) {
+  fcs::Rng rng(3);
+  std::vector<pm::Complex> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : data) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    pm::fft(data, -1);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Fft1d)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Fft3d(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  fcs::Rng rng(4);
+  std::vector<pm::Complex> mesh(m * m * m);
+  for (auto& c : mesh) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    pm::fft3d(mesh, m, m, m, -1);
+    benchmark::DoNotOptimize(mesh.data());
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CicStencil(benchmark::State& state) {
+  domain::Box box({0, 0, 0}, {64, 64, 64}, {true, true, true});
+  const std::array<std::size_t, 3> mesh{64, 64, 64};
+  fcs::Rng rng(5);
+  std::vector<domain::Vec3> pos(1024);
+  for (auto& p : pos)
+    p = {rng.uniform(0, 64), rng.uniform(0, 64), rng.uniform(0, 64)};
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& p : pos)
+      for (const auto& pt : pm::cic_stencil(box, mesh, p)) acc += pt.weight;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pos.size()));
+}
+BENCHMARK(BM_CicStencil);
+
+void BM_SolidHarmonics(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  std::vector<fmm::Complex> out;
+  const domain::Vec3 r{0.3, -0.7, 0.55};
+  for (auto _ : state) {
+    fmm::regular_harmonics(r, p, out);
+    benchmark::DoNotOptimize(out.data());
+    fmm::irregular_harmonics(r, p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SolidHarmonics)->Arg(4)->Arg(10)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Shows the two parallel sorting methods behind the FMM solver's particle
+// placement and why the paper switches between them: on almost-sorted data
+// the merge-exchange sort's early-exit probes skip nearly all bulk
+// exchanges, while the partition sort pays its full all-to-all every time.
+//
+//   ./sorting_methods
+#include <cstdio>
+
+#include "sim/engine.hpp"
+#include "sortlib/merge_sort.hpp"
+#include "sortlib/partition_sort.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Rec {
+  std::uint64_t key;
+  std::uint64_t payload[4];  // particle-sized records
+};
+
+std::vector<Rec> make_records(int rank, int nranks, std::size_t n,
+                              double disorder) {
+  // Keys mostly in this rank's block, a `disorder` fraction anywhere.
+  fcs::Rng rng = fcs::Rng(99).stream(rank);
+  std::vector<Rec> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool stray = rng.uniform() < disorder;
+    const std::uint64_t block =
+        stray ? rng.uniform_index(static_cast<std::uint64_t>(nranks))
+              : static_cast<std::uint64_t>(rank);
+    items[i].key = block * 1000000 + rng.uniform_index(1000000);
+    items[i].payload[0] = i;
+  }
+  return items;
+}
+
+}  // namespace
+
+int main() {
+  const int nranks = 32;
+  fcs::Table table({"disorder", "partition[ms]", "merge[ms]", "exchanges",
+                    "comparators"});
+  for (double disorder : {0.0, 0.001, 0.01, 0.1, 1.0}) {
+    double t_partition = 0, t_merge = 0;
+    std::size_t exchanges = 0, comparators = 0;
+    for (int variant = 0; variant < 2; ++variant) {
+      sim::EngineConfig cfg;
+      cfg.nranks = nranks;
+      cfg.network = std::make_shared<sim::SwitchedNetwork>();
+      sim::Engine engine(cfg);
+      engine.run([&](sim::RankCtx& ctx) {
+        mpi::Comm comm = mpi::Comm::world(ctx);
+        auto items = make_records(comm.rank(), nranks, 2000, disorder);
+        auto key = [](const Rec& r) { return r.key; };
+        if (variant == 0) {
+          sortlib::parallel_sort_partition(comm, items, key);
+        } else {
+          auto stats = sortlib::parallel_sort_merge(comm, items, key);
+          if (comm.rank() == 0) {
+            exchanges = stats.exchanges;
+            comparators = stats.comparators;
+          }
+        }
+      });
+      (variant == 0 ? t_partition : t_merge) = engine.makespan();
+    }
+    table.begin_row()
+        .col(disorder, 4)
+        .col(1e3 * t_partition, 4)
+        .col(1e3 * t_merge, 4)
+        .col(static_cast<long long>(exchanges))
+        .col(static_cast<long long>(comparators));
+  }
+  std::ostringstream oss;
+  table.print(oss);
+  std::printf("partition vs merge-exchange parallel sort, %d ranks\n", nranks);
+  std::fputs(oss.str().c_str(), stdout);
+  std::printf("(merge wins while the data is almost sorted; the paper's FMM\n"
+              " switches to it when the max particle movement is small)\n");
+  return 0;
+}

@@ -1,0 +1,4 @@
+#include "domain/box.hpp"
+
+// Header-only; this translation unit pins the vtable-free class into the
+// domain library and provides a home for future non-inline helpers.

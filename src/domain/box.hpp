@@ -1,0 +1,88 @@
+// The simulation box: an axis-aligned orthorhombic region with optional
+// periodicity per axis. The fcs interface accepts the paper's (offset +
+// three base vectors) specification but requires the base vectors to be
+// axis-aligned, which covers the paper's cubic silica system.
+#pragma once
+
+#include <array>
+
+#include "domain/vec3.hpp"
+#include "support/error.hpp"
+
+namespace domain {
+
+class Box {
+ public:
+  Box() : Box({0, 0, 0}, {1, 1, 1}, {true, true, true}) {}
+
+  Box(Vec3 offset, Vec3 extent, std::array<bool, 3> periodic)
+      : offset_(offset), extent_(extent), periodic_(periodic) {
+    FCS_CHECK(extent_.x > 0 && extent_.y > 0 && extent_.z > 0,
+              "box extent must be positive");
+  }
+
+  /// Construct from the fcs-style base vectors; they must be axis-aligned.
+  static Box from_base_vectors(Vec3 offset, Vec3 a, Vec3 b, Vec3 c,
+                               std::array<bool, 3> periodic) {
+    FCS_CHECK(a.y == 0 && a.z == 0 && b.x == 0 && b.z == 0 && c.x == 0 &&
+                  c.y == 0,
+              "only orthorhombic (axis-aligned) boxes are supported");
+    return Box(offset, {a.x, b.y, c.z}, periodic);
+  }
+
+  const Vec3& offset() const { return offset_; }
+  const Vec3& extent() const { return extent_; }
+  const std::array<bool, 3>& periodic() const { return periodic_; }
+  bool fully_periodic() const {
+    return periodic_[0] && periodic_[1] && periodic_[2];
+  }
+  double volume() const { return extent_.x * extent_.y * extent_.z; }
+
+  bool contains(const Vec3& p) const {
+    for (int d = 0; d < 3; ++d)
+      if (p[d] < offset_[d] || p[d] >= offset_[d] + extent_[d]) return false;
+    return true;
+  }
+
+  /// Wrap a position into the box along periodic axes; non-periodic axes are
+  /// left unchanged.
+  Vec3 wrap(Vec3 p) const {
+    for (int d = 0; d < 3; ++d) {
+      if (!periodic_[d]) continue;
+      double t = (p[d] - offset_[d]) / extent_[d];
+      t -= std::floor(t);
+      p[d] = offset_[d] + t * extent_[d];
+      if (p[d] >= offset_[d] + extent_[d]) p[d] = offset_[d];  // fp edge
+    }
+    return p;
+  }
+
+  /// Minimum-image displacement a - b.
+  Vec3 minimum_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    for (int i = 0; i < 3; ++i) {
+      if (!periodic_[i]) continue;
+      d[i] -= extent_[i] * std::round(d[i] / extent_[i]);
+    }
+    return d;
+  }
+
+  /// Normalized coordinates in [0, 1) for a wrapped position.
+  Vec3 normalized(const Vec3& p) const {
+    const Vec3 w = wrap(p);
+    Vec3 t;
+    for (int d = 0; d < 3; ++d) {
+      t[d] = (w[d] - offset_[d]) / extent_[d];
+      if (t[d] < 0) t[d] = 0;
+      if (t[d] >= 1) t[d] = std::nexttoward(1.0, 0.0);
+    }
+    return t;
+  }
+
+ private:
+  Vec3 offset_;
+  Vec3 extent_;
+  std::array<bool, 3> periodic_;
+};
+
+}  // namespace domain

@@ -1,0 +1,86 @@
+#include "domain/cart_grid.hpp"
+
+#include <algorithm>
+
+namespace domain {
+
+std::vector<CartGrid::GhostImage> CartGrid::ghost_images(const Vec3& p,
+                                                         double halo) const {
+  const Vec3 sub = subdomain_extent();
+  FCS_CHECK(halo >= 0 && halo <= std::min({sub.x, sub.y, sub.z}),
+            "ghost halo " << halo << " exceeds a subdomain extent");
+  const auto cell = cell_of_position(p);
+  const int owner = rank_of_coords(cell);
+
+  int lo_near[3], hi_near[3];
+  for (int d = 0; d < 3; ++d) {
+    const double w = box_.extent()[d] / dims_[d];
+    const double local = box_.normalized(p)[d] * box_.extent()[d] - cell[d] * w;
+    lo_near[d] = local < halo ? 1 : 0;
+    hi_near[d] = local >= w - halo ? 1 : 0;
+  }
+
+  std::vector<GhostImage> images;
+  for (int dx = -lo_near[0]; dx <= hi_near[0]; ++dx)
+    for (int dy = -lo_near[1]; dy <= hi_near[1]; ++dy)
+      for (int dz = -lo_near[2]; dz <= hi_near[2]; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int off[3] = {dx, dy, dz};
+        Vec3 shift{};
+        bool valid = true;
+        for (int d = 0; d < 3; ++d) {
+          const int c = cell[d] + off[d];
+          if (c < 0 || c >= dims_[d]) {
+            if (!box_.periodic()[d]) {
+              valid = false;
+              break;
+            }
+            // Wrapped below: the image the target sees is above its domain.
+            shift[d] = c < 0 ? box_.extent()[d] : -box_.extent()[d];
+          }
+        }
+        if (!valid) continue;
+        const int r = rank_of_coords({cell[0] + dx, cell[1] + dy, cell[2] + dz});
+        FCS_ASSERT(r >= 0);
+        if (r == owner && shift == Vec3{}) continue;  // plain self copy
+        // Deduplicate identical (rank, shift) pairs from different offsets.
+        bool seen = false;
+        for (const GhostImage& g : images)
+          if (g.rank == r && g.shift == shift) seen = true;
+        if (!seen) images.push_back(GhostImage{r, shift});
+      }
+  return images;
+}
+
+std::vector<int> CartGrid::ghost_targets(const Vec3& p, double halo) const {
+  const Vec3 sub = subdomain_extent();
+  FCS_CHECK(halo >= 0 && halo <= std::min({sub.x, sub.y, sub.z}),
+            "ghost halo " << halo << " exceeds a subdomain extent");
+  const auto cell = cell_of_position(p);
+  const int owner = rank_of_coords(cell);
+
+  // Per axis, determine if p is within `halo` of the lower/upper face.
+  int lo_near[3], hi_near[3];
+  for (int d = 0; d < 3; ++d) {
+    const double w = box_.extent()[d] / dims_[d];
+    const double local =
+        box_.normalized(p)[d] * box_.extent()[d] - cell[d] * w;  // in [0, w)
+    lo_near[d] = local < halo ? 1 : 0;
+    hi_near[d] = local >= w - halo ? 1 : 0;
+  }
+
+  std::vector<int> targets;
+  for (int dx = -lo_near[0]; dx <= hi_near[0]; ++dx)
+    for (int dy = -lo_near[1]; dy <= hi_near[1]; ++dy)
+      for (int dz = -lo_near[2]; dz <= hi_near[2]; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int r =
+            rank_of_coords({cell[0] + dx, cell[1] + dy, cell[2] + dz});
+        if (r >= 0 && r != owner &&
+            std::find(targets.begin(), targets.end(), r) == targets.end())
+          targets.push_back(r);
+      }
+  return targets;
+}
+
+}  // namespace domain

@@ -1,0 +1,105 @@
+// Uniform Cartesian grid decomposition of the simulation box.
+//
+// The P2NFFT-style solver distributes the particle system uniformly over a
+// grid of processes (paper Figure 2, right); the target rank of a particle
+// is a pure function of its position. The grid also computes which
+// neighboring subdomains a particle near a boundary must be duplicated into
+// as a ghost, given the solver's cutoff radius.
+#pragma once
+
+#include <vector>
+
+#include "domain/box.hpp"
+#include "support/error.hpp"
+
+namespace domain {
+
+class CartGrid {
+ public:
+  CartGrid() = default;
+
+  CartGrid(Box box, std::array<int, 3> dims) : box_(box), dims_(dims) {
+    for (int d = 0; d < 3; ++d)
+      FCS_CHECK(dims_[d] >= 1, "grid dimension must be >= 1");
+  }
+
+  const Box& box() const { return box_; }
+  const std::array<int, 3>& dims() const { return dims_; }
+  int nranks() const { return dims_[0] * dims_[1] * dims_[2]; }
+
+  std::array<int, 3> coords_of_rank(int rank) const {
+    FCS_CHECK(rank >= 0 && rank < nranks(), "rank out of range");
+    std::array<int, 3> c{};
+    c[2] = rank % dims_[2];
+    rank /= dims_[2];
+    c[1] = rank % dims_[1];
+    c[0] = rank / dims_[1];
+    return c;
+  }
+
+  int rank_of_coords(std::array<int, 3> c) const {
+    for (int d = 0; d < 3; ++d) {
+      if (c[d] < 0 || c[d] >= dims_[d]) {
+        if (!box_.periodic()[d]) return -1;
+        c[d] = ((c[d] % dims_[d]) + dims_[d]) % dims_[d];
+      }
+    }
+    return (c[0] * dims_[1] + c[1]) * dims_[2] + c[2];
+  }
+
+  std::array<int, 3> cell_of_position(const Vec3& p) const {
+    const Vec3 t = box_.normalized(p);
+    std::array<int, 3> c{};
+    for (int d = 0; d < 3; ++d) {
+      c[d] = static_cast<int>(t[d] * dims_[d]);
+      if (c[d] >= dims_[d]) c[d] = dims_[d] - 1;
+    }
+    return c;
+  }
+
+  int rank_of_position(const Vec3& p) const {
+    return rank_of_coords(cell_of_position(p));
+  }
+
+  /// Lower and upper corner of a rank's subdomain.
+  void subdomain(int rank, Vec3& lo, Vec3& hi) const {
+    const auto c = coords_of_rank(rank);
+    for (int d = 0; d < 3; ++d) {
+      const double w = box_.extent()[d] / dims_[d];
+      lo[d] = box_.offset()[d] + c[d] * w;
+      hi[d] = box_.offset()[d] + (c[d] + 1) * w;
+    }
+  }
+
+  /// Side lengths of one subdomain.
+  Vec3 subdomain_extent() const {
+    return {box_.extent().x / dims_[0], box_.extent().y / dims_[1],
+            box_.extent().z / dims_[2]};
+  }
+
+  /// Ranks (other than the owner) whose subdomain, grown by `halo`, contains
+  /// the position - i.e. the ranks that need a ghost copy of the particle.
+  /// Only ranks within one grid cell of the owner are considered, so `halo`
+  /// must not exceed the subdomain extent (checked).
+  std::vector<int> ghost_targets(const Vec3& p, double halo) const;
+
+  /// One ghost copy the redistribution must create: target rank plus the
+  /// periodic image shift to add to the particle position so it sits in the
+  /// correct image relative to the target's subdomain.
+  struct GhostImage {
+    int rank;
+    Vec3 shift;
+  };
+
+  /// All ghost copies of a particle (position must be wrapped into the box).
+  /// Unlike ghost_targets(), each wrapped offset direction produces its own
+  /// image, so a target (including the owner itself, for small grids) can
+  /// legitimately appear multiple times with different shifts.
+  std::vector<GhostImage> ghost_images(const Vec3& p, double halo) const;
+
+ private:
+  Box box_;
+  std::array<int, 3> dims_{1, 1, 1};
+};
+
+}  // namespace domain

@@ -1,0 +1,39 @@
+#include "domain/linked_cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domain {
+
+LinkedCells::LinkedCells(const Vec3& lo, const Vec3& hi, double cell_size,
+                         const std::vector<Vec3>& positions)
+    : lo_(lo), hi_(hi), positions_(positions) {
+  FCS_CHECK(cell_size > 0, "cell size must be positive");
+  for (int d = 0; d < 3; ++d) {
+    FCS_CHECK(hi[d] > lo[d], "region extent must be positive");
+    ncells_[d] = std::max(1, static_cast<int>((hi[d] - lo[d]) / cell_size));
+  }
+  // Effective cell size can only be >= the requested one.
+  cell_size_ = cell_size;
+
+  const int total = ncells_[0] * ncells_[1] * ncells_[2];
+  cell_start_.assign(static_cast<std::size_t>(total), -1);
+  next_.assign(positions_.size(), -1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const int cell = cell_index(cell_of(positions_[i]));
+    next_[i] = cell_start_[static_cast<std::size_t>(cell)];
+    cell_start_[static_cast<std::size_t>(cell)] = static_cast<int>(i);
+  }
+}
+
+std::array<int, 3> LinkedCells::cell_of(const Vec3& p) const {
+  std::array<int, 3> c{};
+  for (int d = 0; d < 3; ++d) {
+    const double w = (hi_[d] - lo_[d]) / ncells_[d];
+    c[d] = static_cast<int>(std::floor((p[d] - lo_[d]) / w));
+    c[d] = std::clamp(c[d], 0, ncells_[d] - 1);  // ghosts clamp inward
+  }
+  return c;
+}
+
+}  // namespace domain

@@ -1,0 +1,61 @@
+#include "domain/morton.hpp"
+
+namespace domain {
+
+namespace {
+
+// Spread the low 21 bits of v so consecutive bits land 3 apart.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint32_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z) {
+  x = compact3(code);
+  y = compact3(code >> 1);
+  z = compact3(code >> 2);
+}
+
+void cell_of_position(const Box& box, int level, const Vec3& p,
+                      std::uint32_t& x, std::uint32_t& y, std::uint32_t& z) {
+  FCS_CHECK(level >= 0 && level <= kMaxMortonLevel,
+            "octree level " << level << " out of range");
+  const std::uint32_t cells = 1u << level;
+  const Vec3 t = box.normalized(p);
+  x = static_cast<std::uint32_t>(t.x * cells);
+  y = static_cast<std::uint32_t>(t.y * cells);
+  z = static_cast<std::uint32_t>(t.z * cells);
+  if (x >= cells) x = cells - 1;
+  if (y >= cells) y = cells - 1;
+  if (z >= cells) z = cells - 1;
+}
+
+std::uint64_t morton_key(const Box& box, int level, const Vec3& p) {
+  std::uint32_t x, y, z;
+  cell_of_position(box, level, p, x, y, z);
+  return morton_encode(x, y, z);
+}
+
+}  // namespace domain

@@ -1,0 +1,41 @@
+// Z-Morton (Lebesgue) space-filling-curve codes.
+//
+// The FMM solver numbers the boxes of its uniform octree subdivision in
+// Z-Morton order and assigns every particle the code of the box it sits in;
+// sorting particles by this code yields the paper's Figure 2 (left) domain
+// decomposition, where each rank owns a contiguous segment of the Z curve.
+#pragma once
+
+#include <cstdint>
+
+#include "domain/box.hpp"
+
+namespace domain {
+
+/// Maximum octree refinement level representable in a 64-bit Morton code.
+inline constexpr int kMaxMortonLevel = 21;
+
+/// Interleave the low 21 bits of x, y, z into a 63-bit Morton code
+/// (x owns bits 0, 3, 6, ...).
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Inverse of morton_encode.
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z);
+
+/// Cell coordinates of a position on a 2^level grid over the box.
+void cell_of_position(const Box& box, int level, const Vec3& p,
+                      std::uint32_t& x, std::uint32_t& y, std::uint32_t& z);
+
+/// Morton code of the octree box (at `level`) containing the position.
+std::uint64_t morton_key(const Box& box, int level, const Vec3& p);
+
+/// Morton code of a box's parent at level-1.
+inline std::uint64_t morton_parent(std::uint64_t code) { return code >> 3; }
+
+/// Morton code of the c-th child (c in [0,8)) of a box.
+inline std::uint64_t morton_child(std::uint64_t code, int c) {
+  return (code << 3) | static_cast<std::uint64_t>(c);
+}
+
+}  // namespace domain

@@ -1,0 +1,47 @@
+// Small 3-vector used for positions, velocities, and fields everywhere in
+// the library. Trivially copyable so it can travel through minimpi messages.
+#pragma once
+
+#include <cmath>
+
+namespace domain {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+}  // namespace domain

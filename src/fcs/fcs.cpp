@@ -1,0 +1,125 @@
+#include "fcs/fcs.hpp"
+
+#include "redist/resort.hpp"
+
+namespace fcs {
+
+using domain::Vec3;
+
+Fcs::Fcs(const mpi::Comm& comm, const std::string& method)
+    : comm_(comm), solver_(create_solver(method)) {}
+
+void Fcs::set_common(const domain::Box& box) { solver_->set_box(box); }
+
+void Fcs::set_accuracy(double accuracy) { solver_->set_accuracy(accuracy); }
+
+void Fcs::tune(const std::vector<domain::Vec3>& positions,
+               const std::vector<double>& charges) {
+  solver_->tune(comm_, positions, charges);
+}
+
+RunResult Fcs::run(std::vector<domain::Vec3>& positions,
+                   std::vector<double>& charges,
+                   std::vector<double>& potentials,
+                   std::vector<domain::Vec3>& field,
+                   const RunOptions& options) {
+  FCS_CHECK(positions.size() == charges.size(),
+            "positions/charges size mismatch");
+  sim::RankCtx& ctx = comm_.ctx();
+  const std::size_t n_original = positions.size();
+
+  SolveOptions sopts;
+  sopts.resort = options.resort;
+  sopts.max_particle_move = options.max_particle_move;
+  sopts.max_local = options.max_local;
+  sopts.modeled_compute = options.modeled_compute;
+  sopts.input_in_solver_order = last_resorted_;
+
+  SolveResult solved = solver_->solve(comm_, positions, charges, sopts);
+
+  RunResult result;
+  result.times = solved.times;
+
+  bool do_resort = options.resort;
+  if (do_resort && options.max_local > 0) {
+    // Paper: the changed distribution can only be returned if every rank's
+    // local arrays are large enough.
+    const int fits =
+        solved.positions.size() <= options.max_local ? 1 : 0;
+    do_resort = comm_.allreduce(fits, mpi::OpMin{}) == 1;
+  }
+
+  if (do_resort) {
+    // --- Method B: hand back the solver order, create resort indices ------
+    const double t0 = ctx.now();
+    resort_indices_ = redist::invert_origin_indices(
+        comm_, solved.origin, n_original, solved.resort_kind);
+    resort_n_original_ = n_original;
+    resort_n_changed_ = solved.positions.size();
+    resort_kind_ = solved.resort_kind;
+    positions = std::move(solved.positions);
+    charges = std::move(solved.charges);
+    potentials = std::move(solved.potentials);
+    field = std::move(solved.field);
+    last_resorted_ = true;
+    result.times.resort += ctx.now() - t0;
+    result.times.total += ctx.now() - t0;
+    result.resorted = true;
+    result.n_local = positions.size();
+    return result;
+  }
+
+  // --- Method A (or capacity fallback): restore original order/distribution
+  const double t0 = ctx.now();
+  struct ResultPacket {
+    std::uint64_t origin;
+    double potential;
+    Vec3 field;
+  };
+  std::vector<ResultPacket> packets(solved.positions.size());
+  for (std::size_t i = 0; i < packets.size(); ++i)
+    packets[i] =
+        ResultPacket{solved.origin[i], solved.potentials[i], solved.field[i]};
+  std::vector<ResultPacket> restored = redist::restore_to_origin(
+      comm_, packets, [](const ResultPacket& pk) { return pk.origin; },
+      n_original, redist::ExchangeKind::kDense);
+  potentials.resize(n_original);
+  field.resize(n_original);
+  for (std::size_t i = 0; i < n_original; ++i) {
+    potentials[i] = restored[i].potential;
+    field[i] = restored[i].field;
+  }
+  last_resorted_ = false;
+  resort_indices_.clear();
+  resort_n_changed_ = n_original;
+  result.times.restore += ctx.now() - t0;
+  result.times.total += ctx.now() - t0;
+  result.resorted = false;
+  result.n_local = n_original;
+  return result;
+}
+
+void Fcs::resort_floats(std::vector<double>& values,
+                        std::size_t components) const {
+  FCS_CHECK(last_resorted_,
+            "resort_floats: the last run did not return the changed order");
+  values = redist::resort_values(comm_, resort_indices_, values, components,
+                                 resort_n_changed_, resort_kind_);
+}
+
+void Fcs::resort_ints(std::vector<std::int64_t>& values,
+                      std::size_t components) const {
+  FCS_CHECK(last_resorted_,
+            "resort_ints: the last run did not return the changed order");
+  values = redist::resort_values(comm_, resort_indices_, values, components,
+                                 resort_n_changed_, resort_kind_);
+}
+
+void Fcs::resort_vec3(std::vector<domain::Vec3>& values) const {
+  FCS_CHECK(last_resorted_,
+            "resort_vec3: the last run did not return the changed order");
+  values = redist::resort_values(comm_, resort_indices_, values, 1,
+                                 resort_n_changed_, resort_kind_);
+}
+
+}  // namespace fcs

@@ -1,0 +1,96 @@
+// The public coupling interface - this library's equivalent of the
+// ScaFaCoS "fcs" API the paper is about.
+//
+//   fcs::Fcs handle(comm, "fmm");          // fcs_init
+//   handle.set_common(box);                 // fcs_set_common
+//   handle.tune(positions, charges);        // fcs_tune
+//   handle.run(positions, charges,          // fcs_run
+//              potentials, field, opts);
+//   handle.resort_vec3(velocities);         // fcs_resort_floats
+//
+// Two coupling methods (paper Section III):
+//  * method A (opts.resort = false): the solver's reordering and
+//    redistribution stays hidden; potentials and fields come back in the
+//    caller's original particle order and distribution.
+//  * method B (opts.resort = true): the solver-specific order and
+//    distribution is returned (positions/charges arrays are REPLACED), and
+//    resort indices are kept so additional per-particle data can follow via
+//    resort_floats/resort_ints/resort_vec3. If any rank's changed particle
+//    count exceeds opts.max_local, the library falls back to restoring
+//    (query with last_run_resorted(), paper Sect. III-B).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fcs/solver.hpp"
+
+namespace fcs {
+
+/// Create a solver by name: "fmm", "pm" (alias "p2nfft"), or "direct".
+std::unique_ptr<Solver> create_solver(const std::string& method);
+
+struct RunOptions {
+  bool resort = false;             // method B
+  double max_particle_move = -1.0;  // hint for the solver heuristics
+  std::size_t max_local = 0;        // array capacity; 0 = unbounded
+  bool modeled_compute = false;     // benchmarks: model the force math
+};
+
+struct RunResult {
+  bool resorted = false;   // arrays now follow the solver order
+  std::size_t n_local = 0;  // local particle count after the run
+  PhaseTimes times;
+};
+
+class Fcs {
+ public:
+  /// fcs_init: choose the solver method; the communicator is captured.
+  Fcs(const mpi::Comm& comm, const std::string& method);
+
+  /// fcs_set_common: particle system box (offset/extent/periodicity).
+  void set_common(const domain::Box& box);
+  void set_accuracy(double accuracy);
+  /// Access to solver-specific setters (cutoff, mesh, order, ...).
+  Solver& solver() { return *solver_; }
+  const Solver& solver() const { return *solver_; }
+
+  /// fcs_tune. Collective.
+  void tune(const std::vector<domain::Vec3>& positions,
+            const std::vector<double>& charges);
+
+  /// fcs_run. Collective. potentials/field are resized to the output count.
+  /// With method B, positions/charges are replaced by the solver-ordered
+  /// arrays (unless the capacity fallback hits - check the result).
+  RunResult run(std::vector<domain::Vec3>& positions,
+                std::vector<double>& charges,
+                std::vector<double>& potentials,
+                std::vector<domain::Vec3>& field,
+                const RunOptions& options = {});
+
+  /// Paper's query function: did the last run return the changed order?
+  bool last_run_resorted() const { return last_resorted_; }
+  /// Local particle count of the changed distribution.
+  std::size_t resort_particle_count() const { return resort_n_changed_; }
+
+  /// fcs_resort_floats: move `components` doubles per original particle
+  /// into the changed order; `values` is replaced (resized to the changed
+  /// count). Only valid while last_run_resorted().
+  void resort_floats(std::vector<double>& values, std::size_t components) const;
+  /// fcs_resort_ints.
+  void resort_ints(std::vector<std::int64_t>& values,
+                   std::size_t components) const;
+  /// Convenience for Vec3-per-particle data (velocities, accelerations).
+  void resort_vec3(std::vector<domain::Vec3>& values) const;
+
+ private:
+  mpi::Comm comm_;
+  std::unique_ptr<Solver> solver_;
+  bool last_resorted_ = false;
+  std::size_t resort_n_original_ = 0;
+  std::size_t resort_n_changed_ = 0;
+  std::vector<std::uint64_t> resort_indices_;
+  redist::ExchangeKind resort_kind_ = redist::ExchangeKind::kDense;
+};
+
+}  // namespace fcs

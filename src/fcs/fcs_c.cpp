@@ -1,0 +1,194 @@
+#include "fcs/fcs_c.h"
+
+#include <cstring>
+#include <string>
+
+#include "fcs/fcs.hpp"
+
+// The C handle wraps the C++ Fcs object plus the sticky run options the
+// C-style setters accumulate (fcs_set_resort / fcs_set_max_particle_move).
+struct FCS_s {
+  fcs::Fcs impl;
+  fcs::RunOptions options;
+
+  FCS_s(const mpi::Comm& comm, const char* method) : impl(comm, method) {}
+};
+
+namespace {
+
+thread_local std::string g_last_error;
+
+template <class Fn>
+FCSResult guarded(Fn&& fn) {
+  try {
+    fn();
+    return FCS_SUCCESS;
+  } catch (const fcs::Error& e) {
+    g_last_error = e.what();
+    return FCS_ERROR_LOGICAL;
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return FCS_ERROR_INTERNAL;
+  }
+}
+
+FCSResult require(bool cond, const char* message) {
+  if (cond) return FCS_SUCCESS;
+  g_last_error = message;
+  return FCS_ERROR_INVALID_ARGUMENT;
+}
+
+std::vector<domain::Vec3> to_vec3(const fcs_float* xyz, fcs_int n) {
+  std::vector<domain::Vec3> out(static_cast<std::size_t>(n));
+  for (fcs_int i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] = {xyz[3 * i], xyz[3 * i + 1],
+                                        xyz[3 * i + 2]};
+  return out;
+}
+
+void from_vec3(const std::vector<domain::Vec3>& in, fcs_float* xyz) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    xyz[3 * i] = in[i].x;
+    xyz[3 * i + 1] = in[i].y;
+    xyz[3 * i + 2] = in[i].z;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+FCSResult fcs_init(FCS* handle, const char* method, void* comm) {
+  if (auto r = require(handle && method && comm, "fcs_init: null argument"))
+    return r;
+  return guarded([&] {
+    *handle = new FCS_s(*static_cast<mpi::Comm*>(comm), method);
+  });
+}
+
+FCSResult fcs_set_common(FCS handle, const fcs_float* box_offset,
+                         const fcs_float* box_a, const fcs_float* box_b,
+                         const fcs_float* box_c, const fcs_int* periodicity) {
+  if (auto r = require(handle && box_offset && box_a && box_b && box_c &&
+                           periodicity,
+                       "fcs_set_common: null argument"))
+    return r;
+  return guarded([&] {
+    const domain::Box box = domain::Box::from_base_vectors(
+        {box_offset[0], box_offset[1], box_offset[2]},
+        {box_a[0], box_a[1], box_a[2]}, {box_b[0], box_b[1], box_b[2]},
+        {box_c[0], box_c[1], box_c[2]},
+        {periodicity[0] != 0, periodicity[1] != 0, periodicity[2] != 0});
+    handle->impl.set_common(box);
+  });
+}
+
+FCSResult fcs_set_tolerance(FCS handle, fcs_float accuracy) {
+  if (auto r = require(handle != nullptr, "fcs_set_tolerance: null handle"))
+    return r;
+  return guarded([&] { handle->impl.set_accuracy(accuracy); });
+}
+
+FCSResult fcs_tune(FCS handle, fcs_int n_local, const fcs_float* positions,
+                   const fcs_float* charges) {
+  if (auto r = require(handle && n_local >= 0 && (n_local == 0 || (positions && charges)),
+                       "fcs_tune: bad arguments"))
+    return r;
+  return guarded([&] {
+    const auto pos = to_vec3(positions, n_local);
+    const std::vector<double> q(charges, charges + n_local);
+    handle->impl.tune(pos, q);
+  });
+}
+
+FCSResult fcs_set_resort(FCS handle, fcs_int resort) {
+  if (auto r = require(handle != nullptr, "fcs_set_resort: null handle"))
+    return r;
+  handle->options.resort = resort != 0;
+  return FCS_SUCCESS;
+}
+
+FCSResult fcs_set_max_particle_move(FCS handle, fcs_float max_move) {
+  if (auto r = require(handle != nullptr,
+                       "fcs_set_max_particle_move: null handle"))
+    return r;
+  handle->options.max_particle_move = max_move;
+  return FCS_SUCCESS;
+}
+
+FCSResult fcs_run(FCS handle, fcs_int* n_local, fcs_int max_local,
+                  fcs_float* positions, fcs_float* charges,
+                  fcs_float* potentials, fcs_float* field) {
+  if (auto r = require(handle && n_local && *n_local >= 0 &&
+                           max_local >= *n_local && positions && charges &&
+                           potentials && field,
+                       "fcs_run: bad arguments"))
+    return r;
+  return guarded([&] {
+    std::vector<domain::Vec3> pos = to_vec3(positions, *n_local);
+    std::vector<double> q(charges, charges + *n_local);
+    std::vector<double> phi;
+    std::vector<domain::Vec3> e;
+    fcs::RunOptions opts = handle->options;
+    opts.max_local = static_cast<std::size_t>(max_local);
+    const fcs::RunResult rr = handle->impl.run(pos, q, phi, e, opts);
+    FCS_CHECK(rr.n_local <= static_cast<std::size_t>(max_local),
+              "fcs_run: result exceeds max_local");
+    from_vec3(pos, positions);
+    std::memcpy(charges, q.data(), q.size() * sizeof(double));
+    std::memcpy(potentials, phi.data(), phi.size() * sizeof(double));
+    from_vec3(e, field);
+    *n_local = static_cast<fcs_int>(rr.n_local);
+  });
+}
+
+FCSResult fcs_get_resort_availability(FCS handle, fcs_int* available) {
+  if (auto r = require(handle && available,
+                       "fcs_get_resort_availability: null argument"))
+    return r;
+  *available = handle->impl.last_run_resorted() ? 1 : 0;
+  return FCS_SUCCESS;
+}
+
+FCSResult fcs_get_resort_particles(FCS handle, fcs_int* n_changed) {
+  if (auto r = require(handle && n_changed,
+                       "fcs_get_resort_particles: null argument"))
+    return r;
+  *n_changed = static_cast<fcs_int>(handle->impl.resort_particle_count());
+  return FCS_SUCCESS;
+}
+
+FCSResult fcs_resort_floats(FCS handle, fcs_float* data, fcs_int components,
+                            fcs_int n_original) {
+  if (auto r = require(handle && data && components > 0 && n_original >= 0,
+                       "fcs_resort_floats: bad arguments"))
+    return r;
+  return guarded([&] {
+    std::vector<double> values(
+        data, data + static_cast<std::size_t>(n_original * components));
+    handle->impl.resort_floats(values, static_cast<std::size_t>(components));
+    std::memcpy(data, values.data(), values.size() * sizeof(double));
+  });
+}
+
+FCSResult fcs_resort_ints(FCS handle, fcs_int* data, fcs_int components,
+                          fcs_int n_original) {
+  if (auto r = require(handle && data && components > 0 && n_original >= 0,
+                       "fcs_resort_ints: bad arguments"))
+    return r;
+  return guarded([&] {
+    std::vector<std::int64_t> values(
+        data, data + static_cast<std::size_t>(n_original * components));
+    handle->impl.resort_ints(values, static_cast<std::size_t>(components));
+    std::memcpy(data, values.data(), values.size() * sizeof(std::int64_t));
+  });
+}
+
+const char* fcs_last_error(void) { return g_last_error.c_str(); }
+
+FCSResult fcs_destroy(FCS handle) {
+  delete handle;
+  return FCS_SUCCESS;
+}
+
+}  // extern "C"

@@ -1,0 +1,100 @@
+// Internal solver interface of the coupling library.
+//
+// A solver computes long-range interactions on its OWN domain decomposition:
+// it reorders and redistributes the particles, computes potentials and
+// fields, and hands everything back in solver order together with each
+// element's origin index. The fcs layer (fcs.hpp) then finishes the run
+// according to the coupling method: restore the original order and
+// distribution (method A) or return the changed order plus resort indices
+// (method B). Header-only types; no link dependency from the solvers onto
+// the fcs core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "domain/vec3.hpp"
+#include "minimpi/comm.hpp"
+#include "redist/atasp.hpp"
+
+namespace fcs {
+
+/// Virtual-time breakdown of one solver execution, per rank. The benchmark
+/// harnesses reduce these with max over ranks.
+struct PhaseTimes {
+  double sort = 0.0;     // particle reordering + redistribution into the
+                         // solver's decomposition (incl. ghost creation)
+  double compute = 0.0;  // near/far field or real/k-space computation
+  double restore = 0.0;  // method A: restoring original order/distribution
+  double resort = 0.0;   // method B: creating resort indices (solver side)
+  double total = 0.0;
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    sort += o.sort;
+    compute += o.compute;
+    restore += o.restore;
+    resort += o.resort;
+    total += o.total;
+    return *this;
+  }
+};
+
+struct SolveOptions {
+  /// Method B: keep the solver-specific order and distribution.
+  bool resort = false;
+  /// Maximum particle displacement since the previous solve; < 0 if unknown.
+  /// Solvers use it to switch to merge-based sorting (FMM) or neighborhood
+  /// communication (PM), per paper Section III-B.
+  double max_particle_move = -1.0;
+  /// Capacity of the application's local particle arrays (method B can only
+  /// return a changed distribution if it fits); 0 = unbounded.
+  std::size_t max_local = 0;
+  /// True when the input arrays are already in this solver's order and
+  /// distribution (i.e. the previous run used method B and its result was
+  /// fed back). Gate for the max-movement optimizations.
+  bool input_in_solver_order = false;
+  /// Benchmarks: skip the arithmetic of the force computation and charge a
+  /// calibrated virtual-time estimate instead. All data reordering and
+  /// redistribution still runs for real.
+  bool modeled_compute = false;
+};
+
+/// Everything a solver returns, in SOLVER order and distribution.
+struct SolveResult {
+  std::vector<domain::Vec3> positions;
+  std::vector<double> charges;
+  std::vector<double> potentials;
+  std::vector<domain::Vec3> field;
+  /// Origin index (source rank << 32 | source position) per element.
+  std::vector<std::uint64_t> origin;
+  /// Exchange backend the fcs layer should use for restore/resort, matching
+  /// the communication regime the solver chose.
+  redist::ExchangeKind resort_kind = redist::ExchangeKind::kDense;
+  PhaseTimes times;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual std::string name() const = 0;
+  virtual void set_box(const domain::Box& box) = 0;
+  /// Target relative accuracy (default per solver).
+  virtual void set_accuracy(double accuracy) = 0;
+
+  /// Optional tuning step (paper: fcs_tune); positions/charges of the local
+  /// particles. Collective.
+  virtual void tune(const mpi::Comm& comm,
+                    const std::vector<domain::Vec3>& positions,
+                    const std::vector<double>& charges) = 0;
+
+  /// Compute the interactions. Collective.
+  virtual SolveResult solve(const mpi::Comm& comm,
+                            const std::vector<domain::Vec3>& positions,
+                            const std::vector<double>& charges,
+                            const SolveOptions& options) = 0;
+};
+
+}  // namespace fcs

@@ -1,0 +1,18 @@
+#include "fcs/fcs.hpp"
+#include "fmm/fmm_solver.hpp"
+#include "pm/direct.hpp"
+#include "pm/pm_solver.hpp"
+
+namespace fcs {
+
+std::unique_ptr<Solver> create_solver(const std::string& method) {
+  if (method == "fmm") return std::make_unique<fmm::FmmSolver>();
+  if (method == "pm" || method == "p2nfft")
+    return std::make_unique<pm::PmSolver>();
+  if (method == "direct") return std::make_unique<pm::DirectSolver>();
+  FCS_CHECK(false, "unknown solver method '"
+                       << method << "' (available: fmm, pm/p2nfft, direct)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace fcs

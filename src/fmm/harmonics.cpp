@@ -1,0 +1,70 @@
+#include "fmm/harmonics.hpp"
+
+#include "support/error.hpp"
+
+namespace fmm {
+
+void regular_harmonics(const domain::Vec3& r, int p,
+                       std::vector<Complex>& out) {
+  FCS_CHECK(p >= 0, "expansion order must be non-negative");
+  out.assign(ncoef(p), Complex{0, 0});
+  const double x = r.x, y = r.y, z = r.z;
+  const double r2 = r.norm2();
+  const Complex xy(x, y);
+
+  out[coef_index(0, 0)] = 1.0;
+  // Diagonal: R_l^l = -(x + iy) / (2l) * R_{l-1}^{l-1}.
+  for (int l = 1; l <= p; ++l)
+    out[coef_index(l, l)] =
+        -xy / (2.0 * l) * out[coef_index(l - 1, l - 1)];
+  // Sub-diagonal and column recurrence:
+  // R_l^m = ((2l-1) z R_{l-1}^m - r^2 R_{l-2}^m) / ((l+m)(l-m)).
+  for (int m = 0; m < p; ++m) {
+    for (int l = m + 1; l <= p; ++l) {
+      const Complex below = l - 2 >= m ? out[coef_index(l - 2, m)] : Complex{};
+      out[coef_index(l, m)] =
+          ((2.0 * l - 1.0) * z * out[coef_index(l - 1, m)] - r2 * below) /
+          (static_cast<double>(l + m) * static_cast<double>(l - m));
+    }
+  }
+}
+
+void irregular_harmonics(const domain::Vec3& r, int p,
+                         std::vector<Complex>& out) {
+  FCS_CHECK(p >= 0, "expansion order must be non-negative");
+  const double r2 = r.norm2();
+  FCS_CHECK(r2 > 0, "irregular harmonics are singular at the origin");
+  out.assign(ncoef(p), Complex{0, 0});
+  const double x = r.x, y = r.y, z = r.z;
+  const Complex xy(x, y);
+  const double inv_r2 = 1.0 / r2;
+
+  out[coef_index(0, 0)] = 1.0 / std::sqrt(r2);
+  // Diagonal: I_l^l = -(2l-1)(x + iy)/r^2 * I_{l-1}^{l-1}.
+  for (int l = 1; l <= p; ++l)
+    out[coef_index(l, l)] =
+        -(2.0 * l - 1.0) * xy * inv_r2 * out[coef_index(l - 1, l - 1)];
+  // Column recurrence:
+  // I_l^m = ((2l-1) z I_{l-1}^m - ((l-1)^2 - m^2) I_{l-2}^m) / r^2.
+  for (int m = 0; m < p; ++m) {
+    for (int l = m + 1; l <= p; ++l) {
+      const Complex below = l - 2 >= m ? out[coef_index(l - 2, m)] : Complex{};
+      out[coef_index(l, m)] =
+          ((2.0 * l - 1.0) * z * out[coef_index(l - 1, m)] -
+           static_cast<double>((l - 1) * (l - 1) - m * m) * below) *
+          inv_r2;
+    }
+  }
+}
+
+Complex harmonic_at(const std::vector<Complex>& coeffs, int p, int l, int m) {
+  if (l < 0 || l > p) return Complex{0, 0};
+  const int am = m < 0 ? -m : m;
+  if (am > l) return Complex{0, 0};
+  const Complex v = coeffs[coef_index(l, am)];
+  if (m >= 0) return v;
+  const Complex c = std::conj(v);
+  return (am % 2 == 0) ? c : -c;
+}
+
+}  // namespace fmm

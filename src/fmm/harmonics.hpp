@@ -1,0 +1,45 @@
+// Complex solid harmonics for the fast multipole method.
+//
+// Normalizations (r, theta, phi spherical coordinates of (x, y, z)):
+//   regular    R_l^m(r) = r^l P_l^m(cos th) e^{i m phi} / (l+m)!
+//   irregular  I_l^m(r) = (l-m)! P_l^m(cos th) e^{i m phi} / r^{l+1}
+// With these, the multipole expansion of the Coulomb kernel is
+//   1/|r - r'| = sum_{l,m} R_l^m(r') conj(I_l^m(r))     for |r| > |r'|,
+// with NO extra sign factors - the operator conventions in multipole.hpp
+// all derive from this identity (and are verified against brute force in
+// the test suite).
+//
+// Storage: only m >= 0 is stored (index l*(l+1)/2 + m); negative orders
+// follow from R_l^{-m} = (-1)^m conj(R_l^m) and likewise for I.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "domain/vec3.hpp"
+
+namespace fmm {
+
+using Complex = std::complex<double>;
+
+/// Number of stored coefficients for expansions up to order p.
+inline std::size_t ncoef(int p) {
+  return static_cast<std::size_t>((p + 1) * (p + 2) / 2);
+}
+/// Storage index of (l, m), m >= 0.
+inline std::size_t coef_index(int l, int m) {
+  return static_cast<std::size_t>(l * (l + 1) / 2 + m);
+}
+
+/// Evaluate regular solid harmonics R_l^m(r) for all l <= p, m in [0, l].
+void regular_harmonics(const domain::Vec3& r, int p, std::vector<Complex>& out);
+
+/// Evaluate irregular solid harmonics I_l^m(r), r != 0.
+void irregular_harmonics(const domain::Vec3& r, int p,
+                         std::vector<Complex>& out);
+
+/// Fetch a coefficient for any m (negative via conjugation); returns 0 for
+/// |m| > l or l < 0 or l > p.
+Complex harmonic_at(const std::vector<Complex>& coeffs, int p, int l, int m);
+
+}  // namespace fmm

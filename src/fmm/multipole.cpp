@@ -1,0 +1,123 @@
+#include "fmm/multipole.hpp"
+
+#include "support/error.hpp"
+
+namespace fmm {
+
+using domain::Vec3;
+
+void p2m(const Vec3& pos, double charge, const Vec3& center,
+         Expansion& multipole) {
+  std::vector<Complex> reg;
+  regular_harmonics(pos - center, multipole.p, reg);
+  for (std::size_t i = 0; i < reg.size(); ++i)
+    multipole.coeffs[i] += charge * reg[i];
+}
+
+void m2m(const Expansion& source, const Vec3& from, const Vec3& to,
+         Expansion& target) {
+  FCS_CHECK(source.p == target.p, "order mismatch");
+  const int p = target.p;
+  std::vector<Complex> reg;
+  regular_harmonics(from - to, p, reg);
+  for (int l = 0; l <= p; ++l) {
+    for (int m = 0; m <= l; ++m) {
+      Complex acc{0, 0};
+      for (int j = 0; j <= l; ++j)
+        for (int k = -j; k <= j; ++k)
+          acc += harmonic_at(reg, p, j, k) * source.at(l - j, m - k);
+      target.coeffs[coef_index(l, m)] += acc;
+    }
+  }
+}
+
+void m2l(const Expansion& multipole, const Vec3& from, const Vec3& to,
+         Expansion& local) {
+  FCS_CHECK(multipole.p == local.p, "order mismatch");
+  const int p = local.p;
+  std::vector<Complex> irr;
+  irregular_harmonics(to - from, 2 * p, irr);
+  for (int l = 0; l <= p; ++l) {
+    const double sign = (l % 2 == 0) ? 1.0 : -1.0;
+    for (int m = 0; m <= l; ++m) {
+      Complex acc{0, 0};
+      for (int j = 0; j <= p; ++j)
+        for (int k = -j; k <= j; ++k)
+          acc += std::conj(multipole.at(j, k)) *
+                 harmonic_at(irr, 2 * p, j + l, k + m);
+      local.coeffs[coef_index(l, m)] += sign * acc;
+    }
+  }
+}
+
+void l2l(const Expansion& source, const Vec3& from, const Vec3& to,
+         Expansion& target) {
+  FCS_CHECK(source.p == target.p, "order mismatch");
+  const int p = target.p;
+  std::vector<Complex> reg;
+  regular_harmonics(to - from, p, reg);
+  for (int j = 0; j <= p; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0, 0};
+      for (int l = j; l <= p; ++l)
+        for (int m = -l; m <= l; ++m)
+          acc += source.at(l, m) *
+                 std::conj(harmonic_at(reg, p, l - j, m - k));
+      target.coeffs[coef_index(j, k)] += acc;
+    }
+  }
+}
+
+void l2p(const Expansion& local, const Vec3& center, const Vec3& pos,
+         double& potential, Vec3& field) {
+  const int p = local.p;
+  std::vector<Complex> reg;
+  regular_harmonics(pos - center, p, reg);
+  Complex phi{0, 0}, gx{0, 0}, gy{0, 0}, gz{0, 0};
+  for (int l = 0; l <= p; ++l) {
+    for (int m = -l; m <= l; ++m) {
+      const Complex u = local.at(l, m);
+      phi += u * std::conj(harmonic_at(reg, p, l, m));
+      // Gradients of R (see harmonics.hpp notes):
+      //   dR/dx = (R_{l-1}^{m+1} - R_{l-1}^{m-1}) / 2
+      //   dR/dy = -i (R_{l-1}^{m-1} + R_{l-1}^{m+1}) / 2
+      //   dR/dz = R_{l-1}^m
+      const Complex rm1 = harmonic_at(reg, p, l - 1, m - 1);
+      const Complex rp1 = harmonic_at(reg, p, l - 1, m + 1);
+      const Complex rz = harmonic_at(reg, p, l - 1, m);
+      gx += u * std::conj(0.5 * (rp1 - rm1));
+      gy += u * std::conj(Complex(0, -0.5) * (rm1 + rp1));
+      gz += u * std::conj(rz);
+    }
+  }
+  potential += phi.real();
+  field -= Vec3{gx.real(), gy.real(), gz.real()};
+}
+
+void m2p(const Expansion& multipole, const Vec3& center, const Vec3& pos,
+         double& potential, Vec3& field) {
+  const int p = multipole.p;
+  std::vector<Complex> irr;
+  irregular_harmonics(pos - center, p + 1, irr);
+  Complex phi{0, 0}, gx{0, 0}, gy{0, 0}, gz{0, 0};
+  for (int l = 0; l <= p; ++l) {
+    for (int m = -l; m <= l; ++m) {
+      const Complex w = multipole.at(l, m);
+      phi += w * std::conj(harmonic_at(irr, p + 1, l, m));
+      // Gradients of I:
+      //   dI/dx = (I_{l+1}^{m+1} - I_{l+1}^{m-1}) / 2
+      //   dI/dy = -i (I_{l+1}^{m-1} + I_{l+1}^{m+1}) / 2
+      //   dI/dz = -I_{l+1}^m
+      const Complex im1 = harmonic_at(irr, p + 1, l + 1, m - 1);
+      const Complex ip1 = harmonic_at(irr, p + 1, l + 1, m + 1);
+      const Complex iz = harmonic_at(irr, p + 1, l + 1, m);
+      gx += w * std::conj(0.5 * (ip1 - im1));
+      gy += w * std::conj(Complex(0, -0.5) * (im1 + ip1));
+      gz += w * std::conj(-iz);
+    }
+  }
+  potential += phi.real();
+  field -= Vec3{gx.real(), gy.real(), gz.real()};
+}
+
+}  // namespace fmm

@@ -1,0 +1,61 @@
+// Multipole and local (Taylor) expansions with the five FMM operators.
+//
+// Conventions (derived from the kernel identity in harmonics.hpp and
+// verified by brute-force tests):
+//   multipole about c:  w_l^m   = sum_j q_j R_l^m(r_j - c)
+//   evaluation:         phi(x)  = sum_{l,m} w_l^m conj(I_l^m(x - c))
+//   local about z:      phi(x)  = sum_{l,m} u_l^m conj(R_l^m(x - z))
+//   M2M (c -> c'):      w'_l^m  = sum_{j,k} R_j^k(c - c') w_{l-j}^{m-k}
+//   M2L (c -> z):       u_l^m   = (-1)^l sum_{j,k} conj(w_j^k)
+//                                   I_{j+l}^{k+m}(z - c)
+//   L2L (z -> z'):      u'_j^k  = sum_{l >= j, m} u_l^m
+//                                   conj(R_{l-j}^{m-k}(z - z'))
+// All operators truncate at order p.
+#pragma once
+
+#include "fmm/harmonics.hpp"
+
+namespace fmm {
+
+/// Coefficients of one expansion (multipole or local), m >= 0 stored.
+struct Expansion {
+  explicit Expansion(int order = 0)
+      : p(order), coeffs(ncoef(order), Complex{0, 0}) {}
+
+  int p;
+  std::vector<Complex> coeffs;
+
+  Complex at(int l, int m) const { return harmonic_at(coeffs, p, l, m); }
+  void clear() { std::fill(coeffs.begin(), coeffs.end(), Complex{0, 0}); }
+  Expansion& operator+=(const Expansion& o) {
+    for (std::size_t i = 0; i < coeffs.size(); ++i) coeffs[i] += o.coeffs[i];
+    return *this;
+  }
+};
+
+/// Accumulate a point charge into a multipole about `center`.
+void p2m(const domain::Vec3& pos, double charge, const domain::Vec3& center,
+         Expansion& multipole);
+
+/// Shift a multipole from `from` to `to` and accumulate.
+void m2m(const Expansion& source, const domain::Vec3& from,
+         const domain::Vec3& to, Expansion& target);
+
+/// Convert a multipole about `from` into a local expansion about `to`
+/// (well-separated centers) and accumulate.
+void m2l(const Expansion& multipole, const domain::Vec3& from,
+         const domain::Vec3& to, Expansion& local);
+
+/// Shift a local expansion from `from` to `to` and accumulate.
+void l2l(const Expansion& source, const domain::Vec3& from,
+         const domain::Vec3& to, Expansion& target);
+
+/// Evaluate potential and field (E with force = qE) of a local expansion.
+void l2p(const Expansion& local, const domain::Vec3& center,
+         const domain::Vec3& pos, double& potential, domain::Vec3& field);
+
+/// Evaluate a multipole directly at a far point (testing and fallbacks).
+void m2p(const Expansion& multipole, const domain::Vec3& center,
+         const domain::Vec3& pos, double& potential, domain::Vec3& field);
+
+}  // namespace fmm

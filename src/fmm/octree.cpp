@@ -1,0 +1,69 @@
+#include "fmm/octree.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace fmm {
+
+domain::Vec3 box_center(const domain::Box& box, int level, std::uint64_t key) {
+  std::uint32_t cx, cy, cz;
+  domain::morton_decode(key, cx, cy, cz);
+  const double cells = static_cast<double>(1u << level);
+  domain::Vec3 c;
+  c.x = box.offset().x + (cx + 0.5) / cells * box.extent().x;
+  c.y = box.offset().y + (cy + 0.5) / cells * box.extent().y;
+  c.z = box.offset().z + (cz + 0.5) / cells * box.extent().z;
+  return c;
+}
+
+int box_distance(std::uint64_t a, std::uint64_t b) {
+  std::uint32_t ax, ay, az, bx, by, bz;
+  domain::morton_decode(a, ax, ay, az);
+  domain::morton_decode(b, bx, by, bz);
+  const int dx = std::abs(static_cast<int>(ax) - static_cast<int>(bx));
+  const int dy = std::abs(static_cast<int>(ay) - static_cast<int>(by));
+  const int dz = std::abs(static_cast<int>(az) - static_cast<int>(bz));
+  return std::max({dx, dy, dz});
+}
+
+void box_neighbors(int level, std::uint64_t key,
+                   std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::uint32_t cx, cy, cz;
+  domain::morton_decode(key, cx, cy, cz);
+  const int cells = 1 << level;
+  for (int dx = -1; dx <= 1; ++dx)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int nx = static_cast<int>(cx) + dx;
+        const int ny = static_cast<int>(cy) + dy;
+        const int nz = static_cast<int>(cz) + dz;
+        if (nx < 0 || nx >= cells || ny < 0 || ny >= cells || nz < 0 ||
+            nz >= cells)
+          continue;
+        out.push_back(domain::morton_encode(static_cast<std::uint32_t>(nx),
+                                            static_cast<std::uint32_t>(ny),
+                                            static_cast<std::uint32_t>(nz)));
+      }
+}
+
+void interaction_list(int level, std::uint64_t key,
+                      std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (level < 1) return;
+  const std::uint64_t parent = domain::morton_parent(key);
+  std::vector<std::uint64_t> parent_neighbors;
+  box_neighbors(level - 1, parent, parent_neighbors);
+  parent_neighbors.push_back(parent);
+  for (std::uint64_t pn : parent_neighbors)
+    for (int c = 0; c < 8; ++c) {
+      const std::uint64_t child = domain::morton_child(pn, c);
+      if (box_distance(child, key) > 1) out.push_back(child);
+    }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace fmm

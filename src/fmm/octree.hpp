@@ -1,0 +1,31 @@
+// Geometry helpers for the uniform octree the FMM subdivides the system box
+// into. Boxes at level l are the 8^l cells of a regular grid, identified by
+// their Z-Morton code; the particles sorted by leaf code give the paper's
+// Figure 2 (left) decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "domain/morton.hpp"
+
+namespace fmm {
+
+/// Center of the octree box `key` at `level`.
+domain::Vec3 box_center(const domain::Box& box, int level, std::uint64_t key);
+
+/// Chebyshev distance between two boxes of one level, in cells.
+int box_distance(std::uint64_t a, std::uint64_t b);
+
+/// Morton keys of all boxes adjacent to `key` (Chebyshev distance 1,
+/// clipped at the domain boundary - open boundaries). Excludes `key`.
+void box_neighbors(int level, std::uint64_t key, std::vector<std::uint64_t>& out);
+
+/// M2L interaction list of `key`: children of the parent's neighbors that
+/// are NOT adjacent to `key` (the classic list of <= 189 well-separated
+/// boxes).
+void interaction_list(int level, std::uint64_t key,
+                      std::vector<std::uint64_t>& out);
+
+}  // namespace fmm

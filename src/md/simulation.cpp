@@ -1,0 +1,124 @@
+#include "md/simulation.hpp"
+
+#include "support/rng.hpp"
+
+namespace md {
+
+using domain::Vec3;
+
+fcs::PhaseTimes reduce_phase_max(const mpi::Comm& comm,
+                                 const fcs::PhaseTimes& times) {
+  const double in[5] = {times.sort, times.compute, times.restore,
+                        times.resort, times.total};
+  double out[5];
+  comm.allreduce(in, out, 5, mpi::OpMax{});
+  fcs::PhaseTimes r;
+  r.sort = out[0];
+  r.compute = out[1];
+  r.restore = out[2];
+  r.resort = out[3];
+  r.total = out[4];
+  return r;
+}
+
+namespace {
+
+double potential_energy(const mpi::Comm& comm, const std::vector<double>& q,
+                        const std::vector<double>& phi) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < q.size(); ++i) e += q[i] * phi[i];
+  return 0.5 * comm.allreduce(e, mpi::OpSum{});
+}
+
+/// Bounded random displacement: uniform direction, uniform radius in
+/// [step/2, step]; the reported maximum movement is exactly `step`.
+void surrogate_displace(LocalParticles& particles, const domain::Box& box,
+                        double step, fcs::Rng& rng) {
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    Vec3 dir;
+    do {
+      dir = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    } while (dir.norm2() > 1.0 || dir.norm2() < 1e-12);
+    dir *= 1.0 / dir.norm();
+    const double radius = rng.uniform(0.5 * step, step);
+    particles.pos[i] = box.wrap(particles.pos[i] + dir * radius);
+  }
+}
+
+}  // namespace
+
+SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
+                                LocalParticles& particles,
+                                const SimulationConfig& cfg) {
+  FCS_CHECK(particles.pos.size() == particles.q.size(),
+            "inconsistent particle arrays");
+  sim::RankCtx& ctx = comm.ctx();
+  SimulationResult result;
+  const double t_start = ctx.now();
+
+  const std::size_t max_local =
+      cfg.max_local_factor > 0
+          ? static_cast<std::size_t>(cfg.max_local_factor *
+                                     static_cast<double>(particles.size())) +
+                64
+          : 0;
+
+  fcs::RunOptions ropts;
+  ropts.resort = cfg.resort;
+  ropts.max_local = max_local;
+  ropts.modeled_compute = cfg.modeled_compute;
+
+  handle.tune(particles.pos, particles.q);
+
+  std::vector<double> phi;
+  std::vector<Vec3> field;
+
+  // Initial interactions (line 5 of Fig. 3).
+  fcs::RunResult rr =
+      handle.run(particles.pos, particles.q, phi, field, ropts);
+  if (rr.resorted) {
+    handle.resort_vec3(particles.vel);
+    handle.resort_vec3(particles.acc);
+  }
+  particles.acc = accelerations_from_field(particles.q, field);
+  result.step_times.push_back(reduce_phase_max(comm, rr.times));
+  result.resorted.push_back(rr.resorted);
+  result.energy_first = potential_energy(comm, particles.q, phi);
+
+  fcs::Rng rng = fcs::Rng(cfg.surrogate_seed).stream(
+      static_cast<std::uint64_t>(comm.rank()));
+
+  for (int step = 1; step <= cfg.steps; ++step) {
+    double max_move_local = 0.0;
+    if (cfg.surrogate_motion) {
+      surrogate_displace(particles, cfg.box, cfg.surrogate_step, rng);
+      max_move_local = cfg.surrogate_step;
+    } else {
+      max_move_local = advance_positions(particles, cfg.box, cfg.dt);
+    }
+    const double max_move = comm.allreduce(max_move_local, mpi::OpMax{});
+    ropts.max_particle_move = cfg.exploit_max_movement ? max_move : -1.0;
+
+    rr = handle.run(particles.pos, particles.q, phi, field, ropts);
+    if (rr.resorted) {
+      handle.resort_vec3(particles.vel);
+      handle.resort_vec3(particles.acc);
+    }
+    const std::vector<Vec3> new_acc =
+        accelerations_from_field(particles.q, field);
+    if (cfg.surrogate_motion) {
+      particles.acc = new_acc;
+    } else {
+      advance_velocities(particles, new_acc, cfg.dt);
+    }
+    result.step_times.push_back(reduce_phase_max(comm, rr.times));
+    result.resorted.push_back(rr.resorted);
+  }
+
+  result.energy_last = potential_energy(comm, particles.q, phi);
+  result.total_time =
+      comm.allreduce(ctx.now() - t_start, mpi::OpMax{});
+  return result;
+}
+
+}  // namespace md

@@ -1,0 +1,61 @@
+// The particle dynamics simulation driver - the paper's Figure 3 pseudocode
+// with both coupling methods, per-step phase timing, and an optional
+// surrogate motion model for the long benchmark runs.
+#pragma once
+
+#include <string>
+
+#include "fcs/fcs.hpp"
+#include "md/integrator.hpp"
+#include "md/system.hpp"
+
+namespace md {
+
+struct SimulationConfig {
+  /// The system box (same one given to handle.set_common); used to wrap
+  /// positions after each integration step.
+  domain::Box box;
+  double dt = 0.01;
+  int steps = 8;
+  /// Method B: keep the solver order, resort velocities/accelerations.
+  bool resort = false;
+  /// Hand the per-step maximum movement to the solver (method B + movement).
+  bool exploit_max_movement = false;
+  /// Capacity factor: max_local = factor * initial local count (0 = off).
+  double max_local_factor = 4.0;
+  /// Benchmarks: model the force computation's virtual time.
+  bool modeled_compute = false;
+  /// Benchmarks: replace force integration by a bounded random displacement
+  /// of `surrogate_step` per time step (same redistribution behaviour as a
+  /// thermal system, without O(n log n) force math per step). The reported
+  /// max movement is exact.
+  bool surrogate_motion = false;
+  double surrogate_step = 0.0;
+  std::uint64_t surrogate_seed = 7;
+};
+
+/// Phase times of one fcs_run, reduced with max over ranks.
+fcs::PhaseTimes reduce_phase_max(const mpi::Comm& comm,
+                                 const fcs::PhaseTimes& times);
+
+struct SimulationResult {
+  /// Per solver execution (steps + 1 entries: initial run first), max over
+  /// ranks.
+  std::vector<fcs::PhaseTimes> step_times;
+  /// Was each run returned in solver order (method B active)?
+  std::vector<bool> resorted;
+  /// Total virtual time of the whole simulation (max final clock delta).
+  double total_time = 0.0;
+  /// Potential energy after the first and last solver runs (diagnostics;
+  /// meaningless under surrogate motion with modeled compute).
+  double energy_first = 0.0;
+  double energy_last = 0.0;
+};
+
+/// Run the Figure 3 loop: tune, initial interactions, `steps` time steps.
+/// `handle` must have box and solver parameters configured. Collective.
+SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
+                                LocalParticles& particles,
+                                const SimulationConfig& cfg);
+
+}  // namespace md

@@ -1,0 +1,174 @@
+#include "md/system.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <unordered_set>
+
+#include "domain/morton.hpp"
+#include "minimpi/cart.hpp"
+#include "support/rng.hpp"
+
+namespace md {
+
+using domain::Vec3;
+
+namespace {
+
+/// Lattice shape: the largest m with m^3 <= n_global; remaining particles
+/// are dropped (the generator documents the actual count via size sums).
+std::size_t lattice_side(std::size_t n_global) {
+  std::size_t m = static_cast<std::size_t>(std::cbrt(static_cast<double>(n_global)));
+  while ((m + 1) * (m + 1) * (m + 1) <= n_global) ++m;
+  while (m > 1 && m * m * m > n_global) --m;
+  return m;
+}
+
+/// Deterministic per-site particle: position (lattice + jitter) and charge.
+void make_particle(const SystemConfig& cfg, std::size_t m, std::size_t ix,
+                   std::size_t iy, std::size_t iz, Vec3& pos, double& q) {
+  const std::size_t index = (ix * m + iy) * m + iz;
+  fcs::Rng rng = fcs::Rng(cfg.seed).stream(index);
+  const Vec3 spacing{cfg.box.extent().x / static_cast<double>(m),
+                     cfg.box.extent().y / static_cast<double>(m),
+                     cfg.box.extent().z / static_cast<double>(m)};
+  pos.x = cfg.box.offset().x + (ix + 0.5) * spacing.x +
+          rng.uniform(-cfg.jitter, cfg.jitter) * spacing.x;
+  pos.y = cfg.box.offset().y + (iy + 0.5) * spacing.y +
+          rng.uniform(-cfg.jitter, cfg.jitter) * spacing.y;
+  pos.z = cfg.box.offset().z + (iz + 0.5) * spacing.z +
+          rng.uniform(-cfg.jitter, cfg.jitter) * spacing.z;
+  pos = cfg.box.wrap(pos);
+  q = ((ix + iy + iz) % 2 == 0) ? 1.0 : -1.0;
+}
+
+}  // namespace
+
+LocalParticles generate_system(const mpi::Comm& comm, const SystemConfig& cfg) {
+  LocalParticles out;
+  const std::size_t m = lattice_side(cfg.n_global);
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  auto emit = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+    Vec3 pos;
+    double q;
+    make_particle(cfg, m, ix, iy, iz, pos, q);
+    out.pos.push_back(pos);
+    out.q.push_back(q);
+  };
+
+  switch (cfg.distribution) {
+    case InitialDistribution::kSingleProcess: {
+      if (r == 0) {
+        for (std::size_t ix = 0; ix < m; ++ix)
+          for (std::size_t iy = 0; iy < m; ++iy)
+            for (std::size_t iz = 0; iz < m; ++iz) emit(ix, iy, iz);
+      }
+      break;
+    }
+    case InitialDistribution::kZOrderSegments: {
+      // The complete cubic lattice contains every Morton code below m^3
+      // (rounded up to a power of two per axis it is m^3 exactly when m is
+      // a power of two; otherwise codes are sparse but still monotone along
+      // the curve). Assign balanced, contiguous Z-curve segments.
+      const std::size_t total = m * m * m;
+      const std::size_t begin = (static_cast<std::size_t>(r) * total) /
+                                static_cast<std::size_t>(p);
+      const std::size_t end = (static_cast<std::size_t>(r) + 1) * total /
+                              static_cast<std::size_t>(p);
+      if ((m & (m - 1)) == 0) {
+        // Power-of-two lattice: every Morton code below m^3 occurs exactly
+        // once, so a site's Z-curve rank IS its code - each rank decodes
+        // only its own segment, O(n/P).
+        for (std::size_t code = begin; code < end; ++code) {
+          std::uint32_t ix, iy, iz;
+          domain::morton_decode(code, ix, iy, iz);
+          emit(ix, iy, iz);
+        }
+      } else {
+        // General lattice: sort the site codes once (identical on all
+        // ranks) and take the balanced segment.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> codes;
+        codes.reserve(total);
+        for (std::size_t ix = 0; ix < m; ++ix)
+          for (std::size_t iy = 0; iy < m; ++iy)
+            for (std::size_t iz = 0; iz < m; ++iz)
+              codes.emplace_back(
+                  domain::morton_encode(static_cast<std::uint32_t>(ix),
+                                        static_cast<std::uint32_t>(iy),
+                                        static_cast<std::uint32_t>(iz)),
+                  (ix * m + iy) * m + iz);
+        std::sort(codes.begin(), codes.end());
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t site = codes[k].second;
+          emit(site / (m * m), (site / m) % m, site % m);
+        }
+      }
+      break;
+    }
+    case InitialDistribution::kRandom: {
+      // Pseudo-random owner per site, uniform over the ranks.
+      std::uint64_t h = cfg.seed ^ 0x5851f42d4c957f2dULL;
+      for (std::size_t ix = 0; ix < m; ++ix)
+        for (std::size_t iy = 0; iy < m; ++iy)
+          for (std::size_t iz = 0; iz < m; ++iz) {
+            std::uint64_t s = h + (ix * m + iy) * m + iz;
+            const int owner = static_cast<int>(fcs::splitmix64(s) %
+                                               static_cast<std::uint64_t>(p));
+            if (owner == r) emit(ix, iy, iz);
+          }
+      break;
+    }
+    case InitialDistribution::kProcessGrid: {
+      const std::vector<int> dims = mpi::dims_create(p, 3);
+      const domain::CartGrid grid(cfg.box, {dims[0], dims[1], dims[2]});
+      // Enumerate only lattice sites near my subdomain (jitter can push a
+      // site's particle across a cell boundary, so pad by one site).
+      Vec3 lo, hi;
+      grid.subdomain(r, lo, hi);
+      auto range = [&](int axis, double a, double b) {
+        const double spacing =
+            cfg.box.extent()[axis] / static_cast<double>(m);
+        const double off = cfg.box.offset()[axis];
+        const long long first =
+            static_cast<long long>(std::floor((a - off) / spacing)) - 1;
+        const long long last =
+            static_cast<long long>(std::ceil((b - off) / spacing)) + 1;
+        return std::make_pair(first, last);
+      };
+      const auto [x0, x1] = range(0, lo.x, hi.x);
+      const auto [y0, y1] = range(1, lo.y, hi.y);
+      const auto [z0, z1] = range(2, lo.z, hi.z);
+      const auto mm = static_cast<long long>(m);
+      std::unordered_set<std::size_t> visited;
+      for (long long ix = x0; ix <= x1; ++ix)
+        for (long long iy = y0; iy <= y1; ++iy)
+          for (long long iz = z0; iz <= z1; ++iz) {
+            // Map the (possibly out-of-range) alias to its principal site;
+            // a principal site is considered exactly once per rank.
+            const std::size_t wx = static_cast<std::size_t>(((ix % mm) + mm) % mm);
+            const std::size_t wy = static_cast<std::size_t>(((iy % mm) + mm) % mm);
+            const std::size_t wz = static_cast<std::size_t>(((iz % mm) + mm) % mm);
+            const std::size_t principal = (wx * m + wy) * m + wz;
+            if (!visited.insert(principal).second) continue;
+            Vec3 pos;
+            double q;
+            make_particle(cfg, m, wx, wy, wz, pos, q);
+            if (grid.rank_of_position(pos) == r) {
+              out.pos.push_back(pos);
+              out.q.push_back(q);
+            }
+          }
+      break;
+    }
+  }
+  out.vel.assign(out.size(), Vec3{});
+  out.acc.assign(out.size(), Vec3{});
+  return out;
+}
+
+std::uint64_t global_count(const mpi::Comm& comm, const LocalParticles& p) {
+  return comm.allreduce(static_cast<std::uint64_t>(p.size()), mpi::OpSum{});
+}
+
+}  // namespace md

@@ -1,0 +1,59 @@
+// Particle system generation and initial distributions.
+//
+// The paper's benchmark system is a melting silica crystal: a cubic box of
+// 248^3 with 829 440 positive and negative ions, sufficiently homogeneously
+// distributed. Without the original input file we generate the closest
+// synthetic equivalent: a cubic lattice of alternating +1/-1 charges with
+// thermal jitter (see DESIGN.md substitution notes).
+//
+// Three initial distributions are implemented, matching Section IV-B:
+// all particles on one single process, uniformly (pseudo-)random
+// distribution among processes, and a uniform Cartesian process grid.
+#pragma once
+
+#include <cstdint>
+
+#include "domain/box.hpp"
+#include "domain/cart_grid.hpp"
+#include "minimpi/comm.hpp"
+
+namespace md {
+
+struct LocalParticles {
+  std::vector<domain::Vec3> pos;
+  std::vector<domain::Vec3> vel;
+  std::vector<domain::Vec3> acc;
+  std::vector<double> q;
+
+  std::size_t size() const { return pos.size(); }
+};
+
+// kZOrderSegments assigns balanced contiguous Z-Morton-curve segments - the
+// decomposition the FMM solver itself produces for a homogeneous system.
+// The paper's grid distribution is "only slightly different" from the FMM's
+// Z-order decomposition on its machine because the rank numbering matched;
+// here the explicit Z-aligned distribution plays that role (see DESIGN.md).
+enum class InitialDistribution {
+  kSingleProcess,
+  kRandom,
+  kProcessGrid,
+  kZOrderSegments,
+};
+
+struct SystemConfig {
+  domain::Box box{{0, 0, 0}, {248, 248, 248}, {true, true, true}};
+  std::size_t n_global = 829440;
+  double jitter = 0.25;        // thermal displacement, fraction of spacing
+  std::uint64_t seed = 20130710;
+  InitialDistribution distribution = InitialDistribution::kProcessGrid;
+};
+
+/// Deterministically generate this rank's share of the global ionic system.
+/// Collective only in the sense that all ranks must pass identical configs;
+/// no communication is performed.
+LocalParticles generate_system(const mpi::Comm& comm, const SystemConfig& cfg);
+
+/// Global particle count check (collective; for tests).
+std::uint64_t global_count(const mpi::Comm& comm, const LocalParticles& p);
+
+}  // namespace md

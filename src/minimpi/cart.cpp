@@ -1,0 +1,96 @@
+#include "minimpi/cart.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace mpi {
+
+std::vector<int> dims_create(int nranks, int ndims) {
+  FCS_CHECK(nranks >= 1 && ndims >= 1, "dims_create: invalid arguments");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  int remaining = nranks;
+  // Peel prime factors largest-first into the currently smallest dimension;
+  // matches the balanced factorizations MPI implementations produce for the
+  // power-of-two counts used in the experiments.
+  std::vector<int> factors;
+  for (int f = 2; f * f <= remaining; ++f)
+    while (remaining % f == 0) {
+      factors.push_back(f);
+      remaining /= f;
+    }
+  if (remaining > 1) factors.push_back(remaining);
+  std::sort(factors.begin(), factors.end(), std::greater<int>());
+  for (int f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  std::sort(dims.begin(), dims.end(), std::greater<int>());
+  return dims;
+}
+
+CartComm::CartComm(const Comm& comm, std::vector<int> dims,
+                   std::vector<bool> periodic)
+    : comm_(comm), dims_(std::move(dims)), periodic_(std::move(periodic)) {
+  FCS_CHECK(dims_.size() == periodic_.size(),
+            "cart: dims and periodic must have the same length");
+  long long total = 1;
+  for (int d : dims_) {
+    FCS_CHECK(d >= 1, "cart: dimension must be >= 1");
+    total *= d;
+  }
+  FCS_CHECK(total == comm_.size(), "cart: dims product " << total
+                << " != communicator size " << comm_.size());
+  coords_of(comm_.rank(), my_coords_);
+}
+
+void CartComm::coords_of(int rank, std::vector<int>& coords) const {
+  coords.resize(dims_.size());
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    coords[i] = rank % dims_[i];
+    rank /= dims_[i];
+  }
+}
+
+int CartComm::rank_of(const std::vector<int>& coords) const {
+  FCS_CHECK(coords.size() == dims_.size(), "cart: wrong coordinate count");
+  int rank = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    int c = coords[i];
+    if (c < 0 || c >= dims_[i]) {
+      if (!periodic_[i]) return -1;
+      c = ((c % dims_[i]) + dims_[i]) % dims_[i];
+    }
+    rank = rank * dims_[i] + c;
+  }
+  return rank;
+}
+
+std::vector<int> CartComm::neighbors(int radius) const {
+  FCS_CHECK(radius >= 0, "cart: negative neighbor radius");
+  std::vector<int> result;
+  std::vector<int> offset(dims_.size(), -radius);
+  std::vector<int> probe(dims_.size());
+  for (;;) {
+    bool self = true;
+    for (int o : offset)
+      if (o != 0) self = false;
+    if (!self) {
+      for (std::size_t i = 0; i < dims_.size(); ++i)
+        probe[i] = my_coords_[i] + offset[i];
+      const int r = rank_of(probe);
+      if (r >= 0 && r != comm_.rank()) result.push_back(r);
+    }
+    // Odometer increment over the offset hypercube.
+    std::size_t axis = 0;
+    for (; axis < offset.size(); ++axis) {
+      if (++offset[axis] <= radius) break;
+      offset[axis] = -radius;
+    }
+    if (axis == offset.size()) break;
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace mpi

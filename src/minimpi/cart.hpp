@@ -1,0 +1,55 @@
+// Cartesian process topologies, mirroring MPI_Cart_create / MPI_Dims_create.
+//
+// The P2NFFT-style solver distributes the particle system uniformly over a
+// 3-D grid of processes; the neighborhood-communication optimization of the
+// paper's method B needs the neighbor enumeration provided here.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace mpi {
+
+/// Factor `nranks` into `ndims` balanced dimensions, largest first
+/// (MPI_Dims_create semantics with all entries initially zero).
+std::vector<int> dims_create(int nranks, int ndims);
+
+class CartComm {
+ public:
+  CartComm() = default;
+
+  /// Collective over `comm`; product of dims must equal comm.size().
+  /// Ranks are laid out row-major (last dimension varies fastest).
+  CartComm(const Comm& comm, std::vector<int> dims, std::vector<bool> periodic);
+
+  const Comm& comm() const { return comm_; }
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  const std::vector<bool>& periodic() const { return periodic_; }
+
+  /// My coordinates.
+  const std::vector<int>& coords() const { return my_coords_; }
+
+  void coords_of(int rank, std::vector<int>& coords) const;
+
+  /// Rank of `coords`; out-of-range coordinates on periodic axes wrap, on
+  /// non-periodic axes return -1 (like MPI_PROC_NULL).
+  int rank_of(const std::vector<int>& coords) const;
+
+  /// Ranks of all distinct neighbors within Chebyshev distance `radius`
+  /// (excluding self), sorted ascending. Non-periodic axes clip at the
+  /// boundary.
+  std::vector<int> neighbors(int radius = 1) const;
+
+ private:
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+  std::vector<int> my_coords_;
+};
+
+}  // namespace mpi

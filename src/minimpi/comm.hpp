@@ -1,0 +1,423 @@
+// minimpi: an MPI-like message passing interface on top of the sim engine.
+//
+// The subset implemented here is exactly what the paper's algorithms need:
+// typed blocking/non-blocking point-to-point with tags and wildcards,
+// communicator split/dup, Cartesian topologies (cart.hpp), and the standard
+// collectives. All collectives are built on point-to-point using the
+// textbook algorithms (dissemination barrier, binomial tree bcast/reduce,
+// distance-doubling allgather(v), Bruck alltoall, pairwise exchange), so
+// their virtual-time cost emerges from the network model instead of being
+// postulated.
+//
+// Restrictions compared to real MPI (documented, asserted where cheap):
+//  * data types must be trivially copyable,
+//  * a communicator must not have user point-to-point traffic in flight
+//    while a collective on the same communicator runs (BSP-style usage,
+//    which is how the library uses it),
+//  * ANY_TAG receives match any user message on the communicator.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/error.hpp"
+
+namespace mpi {
+
+inline constexpr int kAnySource = sim::kAnySource;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+
+  template <class T>
+  std::size_t count() const {
+    FCS_CHECK(bytes % sizeof(T) == 0,
+              "message size " << bytes << " is not a multiple of element size "
+                              << sizeof(T));
+    return bytes / sizeof(T);
+  }
+};
+
+/// Reduction operators for the typed collectives.
+struct OpSum {
+  template <class T> T operator()(const T& a, const T& b) const { return a + b; }
+};
+struct OpMin {
+  template <class T> T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+struct OpMax {
+  template <class T> T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+class Comm;
+
+/// Non-blocking operation handle. Sends complete eagerly; receives are
+/// matched lazily at wait() time (legal because sends never block).
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return kind_ != Kind::kNone; }
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  const Comm* comm_ = nullptr;
+  void* buffer = nullptr;
+  std::size_t capacity_bytes = 0;
+  int peer = 0;
+  int tag = 0;
+  Status status{};
+};
+
+class Comm {
+ public:
+  /// The world communicator spanning all ranks of the engine.
+  static Comm world(sim::RankCtx& ctx);
+
+  Comm() = default;
+
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(group_->world_ranks.size()); }
+  sim::RankCtx& ctx() const { return *ctx_; }
+  bool valid() const { return group_ != nullptr; }
+
+  /// World rank of communicator rank r (exposed for the network-aware
+  /// heuristics and diagnostics).
+  int world_rank(int r) const;
+
+  // --- typed point-to-point ------------------------------------------------
+
+  template <class T>
+  void send(const T* data, std::size_t n, int dst, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(data, n * sizeof(T), dst, tag);
+  }
+
+  template <class T>
+  Status recv(T* data, std::size_t max_n, int src, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes(data, max_n * sizeof(T), src, tag);
+  }
+
+  /// Receive of unknown size into a fresh vector.
+  template <class T>
+  std::vector<T> recv_vec(int src, int tag, Status* status = nullptr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status st{};
+    std::vector<std::byte> raw = recv_bytes_vec(src, tag, &st);
+    if (status != nullptr) *status = st;
+    FCS_CHECK(raw.size() % sizeof(T) == 0, "received " << raw.size()
+                  << " bytes, not a multiple of element size " << sizeof(T));
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <class T>
+  void sendrecv(const T* send_data, std::size_t send_n, int dst, int send_tag,
+                T* recv_data, std::size_t recv_max_n, int src, int recv_tag,
+                Status* status = nullptr) const {
+    send(send_data, send_n, dst, send_tag);
+    Status st = recv(recv_data, recv_max_n, src, recv_tag);
+    if (status != nullptr) *status = st;
+  }
+
+  template <class T>
+  Request isend(const T* data, std::size_t n, int dst, int tag) const {
+    send(data, n, dst, tag);  // eager: completes immediately
+    Request rq;
+    rq.kind_ = Request::Kind::kSend;
+    rq.comm_ = this;
+    return rq;
+  }
+
+  template <class T>
+  Request irecv(T* data, std::size_t max_n, int src, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Request rq;
+    rq.kind_ = Request::Kind::kRecv;
+    rq.comm_ = this;
+    rq.buffer = data;
+    rq.capacity_bytes = max_n * sizeof(T);
+    rq.peer = src;
+    rq.tag = tag;
+    return rq;
+  }
+
+  static Status wait(Request& rq);
+  static void waitall(Request* requests, std::size_t n);
+
+  // --- collectives ----------------------------------------------------------
+
+  void barrier() const;
+
+  template <class T>
+  void bcast(T* data, std::size_t n, int root) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(data, n * sizeof(T), root);
+  }
+
+  template <class T, class Op>
+  void reduce(const T* in, T* out, std::size_t n, int root, Op op) const {
+    reduce_bytes(in, out, n, sizeof(T), root, make_combine<T, Op>(), &op);
+  }
+
+  template <class T, class Op>
+  void allreduce(const T* in, T* out, std::size_t n, Op op) const {
+    reduce(in, out, n, 0, op);
+    bcast(out, n, 0);
+  }
+
+  /// Scalar convenience allreduce.
+  template <class T, class Op>
+  T allreduce(T value, Op op) const {
+    T out{};
+    allreduce(&value, &out, 1, op);
+    return out;
+  }
+
+  template <class T>
+  void allgather(const T* in, std::size_t n_each, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    allgather_bytes(in, n_each * sizeof(T), out);
+  }
+
+  /// allgatherv: rank r contributes counts[r] elements; `out` must hold
+  /// sum(counts). `counts` must already be identical on all ranks (use
+  /// allgather of the local count to build it).
+  template <class T>
+  void allgatherv(const T* in, const std::vector<std::size_t>& counts,
+                  T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::size_t> bytes(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      bytes[i] = counts[i] * sizeof(T);
+    allgatherv_bytes(in, bytes, out);
+  }
+
+  template <class T>
+  void gather(const T* in, std::size_t n_each, T* out, int root) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    gather_bytes(in, n_each * sizeof(T), out, root);
+  }
+
+  template <class T>
+  void scatter(const T* in, std::size_t n_each, T* out, int root) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    scatter_bytes(in, n_each * sizeof(T), out, root);
+  }
+
+  /// Dense alltoall with fixed block size (Bruck for small blocks, pairwise
+  /// exchange for large ones).
+  template <class T>
+  void alltoall(const T* in, std::size_t n_each, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    alltoall_bytes(in, n_each * sizeof(T), out);
+  }
+
+  /// Dense alltoallv. send_counts[i] elements go to rank i; returns the
+  /// received data grouped by source rank in recv_counts (resized).
+  template <class T>
+  std::vector<T> alltoallv(const T* in, const std::vector<std::size_t>& send_counts,
+                           std::vector<std::size_t>& recv_counts) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::size_t> send_bytes(send_counts.size());
+    for (std::size_t i = 0; i < send_counts.size(); ++i)
+      send_bytes[i] = send_counts[i] * sizeof(T);
+    std::vector<std::size_t> recv_bytes;
+    std::vector<std::byte> raw = alltoallv_bytes(in, send_bytes, recv_bytes);
+    recv_counts.resize(recv_bytes.size());
+    for (std::size_t i = 0; i < recv_bytes.size(); ++i) {
+      FCS_ASSERT(recv_bytes[i] % sizeof(T) == 0);
+      recv_counts[i] = recv_bytes[i] / sizeof(T);
+    }
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Sparse point-to-point exchange (NBX-style): only non-empty partner
+  /// messages are sent; no dense collective latency is charged. This is the
+  /// "neighborhood communication" path of the paper's method B with
+  /// max-movement information.
+  template <class T>
+  std::vector<T> sparse_alltoallv(const T* in,
+                                  const std::vector<std::size_t>& send_counts,
+                                  std::vector<std::size_t>& recv_counts) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::size_t> send_bytes(send_counts.size());
+    for (std::size_t i = 0; i < send_counts.size(); ++i)
+      send_bytes[i] = send_counts[i] * sizeof(T);
+    std::vector<std::size_t> recv_bytes;
+    std::vector<std::byte> raw = sparse_alltoallv_bytes(in, send_bytes, recv_bytes);
+    recv_counts.resize(recv_bytes.size());
+    for (std::size_t i = 0; i < recv_bytes.size(); ++i)
+      recv_counts[i] = recv_bytes[i] / sizeof(T);
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Inclusive prefix scan.
+  template <class T, class Op>
+  T scan(T value, Op op) const {
+    return scan_impl(value, op, /*inclusive=*/true);
+  }
+
+  /// Exclusive prefix scan; rank 0 receives T{}.
+  template <class T, class Op>
+  T exscan(T value, Op op) const {
+    return scan_impl(value, op, /*inclusive=*/false);
+  }
+
+  /// Element-wise exclusive prefix scan over an array; out[i] on rank r is
+  /// op-combined in[i] of ranks 0..r-1 (T{} on rank 0).
+  template <class T, class Op>
+  void exscan_v(const T* in, T* out, std::size_t n, Op op) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    const int r = rank();
+    std::vector<T> running(in, in + n);
+    std::vector<T> prefix(n, T{});
+    bool have_prefix = false;
+    const std::uint64_t tag = next_collective_tag(kOpScan);
+    int round = 0;
+    for (int span = 1; span < p; span <<= 1, ++round) {
+      const int up = r + span;
+      const int down = r - span;
+      const std::uint64_t t = with_round(tag, round);
+      if (up < p) ctx_->send(world_rank(up), t, running.data(), n * sizeof(T));
+      if (down >= 0) {
+        sim::RankCtx::RecvInfo info =
+            ctx_->recv(world_rank(down), static_cast<std::int64_t>(t));
+        FCS_CHECK(info.payload.size() == n * sizeof(T), "exscan_v size mismatch");
+        std::vector<T> incoming(n);
+        if (n > 0) std::memcpy(incoming.data(), info.payload.data(), n * sizeof(T));
+        for (std::size_t i = 0; i < n; ++i) {
+          running[i] = op(incoming[i], running[i]);
+          prefix[i] = have_prefix ? op(incoming[i], prefix[i]) : incoming[i];
+        }
+        have_prefix = true;
+      }
+    }
+    std::copy(prefix.begin(), prefix.end(), out);
+  }
+
+  /// Split into sub-communicators by color; ranks ordered by (key, rank).
+  Comm split(int color, int key) const;
+  Comm dup() const;
+
+  // --- byte-level core (implemented in collectives.cpp / comm.cpp) ---------
+
+  void send_bytes(const void* data, std::size_t bytes, int dst, int tag) const;
+  Status recv_bytes(void* data, std::size_t capacity, int src, int tag) const;
+  std::vector<std::byte> recv_bytes_vec(int src, int tag, Status* status) const;
+  void bcast_bytes(void* data, std::size_t bytes, int root) const;
+  void allgather_bytes(const void* in, std::size_t bytes_each, void* out) const;
+  void allgatherv_bytes(const void* in, const std::vector<std::size_t>& bytes,
+                        void* out) const;
+  void gather_bytes(const void* in, std::size_t bytes_each, void* out,
+                    int root) const;
+  void scatter_bytes(const void* in, std::size_t bytes_each, void* out,
+                     int root) const;
+  void alltoall_bytes(const void* in, std::size_t bytes_each, void* out) const;
+  std::vector<std::byte> alltoallv_bytes(
+      const void* in, const std::vector<std::size_t>& send_bytes,
+      std::vector<std::size_t>& recv_bytes) const;
+  std::vector<std::byte> sparse_alltoallv_bytes(
+      const void* in, const std::vector<std::size_t>& send_bytes,
+      std::vector<std::size_t>& recv_bytes) const;
+
+  using CombineFn = void (*)(void* inout, const void* in, std::size_t count,
+                             const void* op);
+  void reduce_bytes(const void* in, void* out, std::size_t count,
+                    std::size_t elem_size, int root, CombineFn combine,
+                    const void* op) const;
+
+ private:
+  struct Group {
+    std::vector<int> world_ranks;   // comm rank -> engine rank
+    std::uint64_t context_id = 0;
+    // Per-parent sequence for deriving child context ids deterministically.
+    std::uint64_t next_child_seq = 1;
+    // Lazily built inverse of world_ranks for O(1) source translation.
+    mutable std::vector<std::pair<int, int>> world_to_comm_sorted;
+  };
+
+  /// Communicator rank of an engine (world) rank; O(log size).
+  int comm_rank_of_world(int world) const;
+
+  Comm(std::shared_ptr<Group> group, int my_rank, sim::RankCtx* ctx)
+      : group_(std::move(group)), my_rank_(my_rank), ctx_(ctx) {}
+
+  template <class T, class Op>
+  static CombineFn make_combine() {
+    return [](void* inout, const void* in, std::size_t count, const void* op) {
+      T* a = static_cast<T*>(inout);
+      const T* b = static_cast<const T*>(in);
+      const Op& f = *static_cast<const Op*>(op);
+      for (std::size_t i = 0; i < count; ++i) a[i] = f(a[i], b[i]);
+    };
+  }
+
+  template <class T, class Op>
+  T scan_impl(T value, Op op, bool inclusive) const {
+    // Hillis-Steele distance doubling on the exclusive prefix.
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    const int r = rank();
+    T running = value;       // combined value of ranks [r - span + 1, r]
+    T prefix{};              // combined value of ranks [0, r-1]
+    bool have_prefix = false;
+    const std::uint64_t tag = next_collective_tag(kOpScan);
+    int round = 0;
+    for (int span = 1; span < p; span <<= 1, ++round) {
+      const int up = r + span;
+      const int down = r - span;
+      const std::uint64_t t = with_round(tag, round);
+      if (up < p) ctx_->send(world_rank(up), t, &running, sizeof(T));
+      if (down >= 0) {
+        sim::RankCtx::RecvInfo info =
+            ctx_->recv(world_rank(down), static_cast<std::int64_t>(t));
+        FCS_CHECK(info.payload.size() == sizeof(T), "scan size mismatch");
+        T incoming{};
+        std::memcpy(&incoming, info.payload.data(), sizeof(T));
+        running = op(incoming, running);
+        prefix = have_prefix ? op(incoming, prefix) : incoming;
+        have_prefix = true;
+      }
+    }
+    if (inclusive) return r == 0 ? value : op(prefix, value);
+    return have_prefix ? prefix : T{};
+  }
+
+  // Internal tag construction: collective ops draw a fresh sequence number
+  // per call (identical across ranks because calls are collective).
+  enum InternalOp : std::uint64_t {
+    kOpBarrier = 1, kOpBcast, kOpReduce, kOpGather, kOpScatter,
+    kOpAllgather, kOpAlltoall, kOpAlltoallv, kOpSparse, kOpScan, kOpSplit,
+  };
+  std::uint64_t next_collective_tag(InternalOp op) const;
+  std::uint64_t p2p_tag(int user_tag) const;
+  /// Collectives with multiple rounds distinguish them in a dedicated field.
+  static std::uint64_t with_round(std::uint64_t collective_tag, int round) {
+    return collective_tag | (static_cast<std::uint64_t>(round) << 8);
+  }
+
+  std::shared_ptr<Group> group_;
+  int my_rank_ = -1;
+  sim::RankCtx* ctx_ = nullptr;
+  mutable std::uint64_t collective_seq_ = 0;
+};
+
+}  // namespace mpi

@@ -1,0 +1,81 @@
+#include "pm/charge_grid.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace pm {
+
+using domain::Vec3;
+
+std::array<CicPoint, 8> cic_stencil(const domain::Box& box,
+                                    const std::array<std::size_t, 3>& mesh,
+                                    const domain::Vec3& pos) {
+  const Vec3 t = box.normalized(pos);
+  // Scaled coordinates relative to cell centers: cell c covers
+  // [(c)/M, (c+1)/M), center at (c+0.5)/M.
+  std::size_t base[3];
+  double frac[3];
+  for (int d = 0; d < 3; ++d) {
+    const double u = t[d] * static_cast<double>(mesh[d]) - 0.5;
+    const double fl = std::floor(u);
+    frac[d] = u - fl;
+    const long long c = static_cast<long long>(fl);
+    const long long md = static_cast<long long>(mesh[d]);
+    base[d] = static_cast<std::size_t>(((c % md) + md) % md);
+  }
+  std::array<CicPoint, 8> out;
+  int idx = 0;
+  for (int dx = 0; dx < 2; ++dx)
+    for (int dy = 0; dy < 2; ++dy)
+      for (int dz = 0; dz < 2; ++dz) {
+        const std::size_t cx = (base[0] + static_cast<std::size_t>(dx)) % mesh[0];
+        const std::size_t cy = (base[1] + static_cast<std::size_t>(dy)) % mesh[1];
+        const std::size_t cz = (base[2] + static_cast<std::size_t>(dz)) % mesh[2];
+        const double w = (dx ? frac[0] : 1.0 - frac[0]) *
+                         (dy ? frac[1] : 1.0 - frac[1]) *
+                         (dz ? frac[2] : 1.0 - frac[2]);
+        out[static_cast<std::size_t>(idx++)] =
+            CicPoint{(cx * mesh[1] + cy) * mesh[2] + cz, w};
+      }
+  return out;
+}
+
+Vec3 wave_vector(const domain::Box& box, const std::array<std::size_t, 3>& mesh,
+                 const std::array<std::size_t, 3>& m) {
+  Vec3 k;
+  for (int d = 0; d < 3; ++d) {
+    // Map index to signed frequency (-M/2, M/2].
+    const long long md = static_cast<long long>(mesh[d]);
+    long long f = static_cast<long long>(m[d]);
+    if (f > md / 2) f -= md;
+    k[d] = 2.0 * std::numbers::pi * static_cast<double>(f) / box.extent()[d];
+  }
+  return k;
+}
+
+double influence(const domain::Box& box, const std::array<std::size_t, 3>& mesh,
+                 const std::array<std::size_t, 3>& m, double alpha) {
+  if (m[0] == 0 && m[1] == 0 && m[2] == 0) return 0.0;
+  const Vec3 k = wave_vector(box, mesh, m);
+  const double k2 = k.norm2();
+  // CIC window Fourier transform per axis: sinc^2(pi f / M); the combined
+  // assignment+interpolation deconvolution divides by its square.
+  double w = 1.0;
+  for (int d = 0; d < 3; ++d) {
+    const long long md = static_cast<long long>(mesh[d]);
+    long long f = static_cast<long long>(m[d]);
+    if (f > md / 2) f -= md;
+    if (f == 0) continue;
+    const double x = std::numbers::pi * static_cast<double>(f) /
+                     static_cast<double>(md);
+    const double sinc = std::sin(x) / x;
+    w *= sinc * sinc;
+  }
+  const double g =
+      4.0 * std::numbers::pi * std::exp(-k2 / (4.0 * alpha * alpha)) / k2;
+  return g / (w * w);
+}
+
+}  // namespace pm

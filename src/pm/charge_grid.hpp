@@ -1,0 +1,38 @@
+// Charge assignment / interpolation (cloud-in-cell) and the influence
+// function of the particle-mesh k-space solver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "domain/box.hpp"
+#include "domain/vec3.hpp"
+
+namespace pm {
+
+/// One CIC stencil point: a global mesh cell (row-major index over
+/// mx*my*mz, z fastest) and its weight. Weights of one particle sum to 1.
+struct CicPoint {
+  std::uint64_t cell;
+  double weight;
+};
+
+/// Cell-centered CIC stencil of a position on the periodic mesh: the 8
+/// surrounding cell centers with trilinear weights.
+std::array<CicPoint, 8> cic_stencil(const domain::Box& box,
+                                    const std::array<std::size_t, 3>& mesh,
+                                    const domain::Vec3& pos);
+
+/// Wave vector of mesh frequency index m (0..mesh-1) on axis d.
+domain::Vec3 wave_vector(const domain::Box& box,
+                         const std::array<std::size_t, 3>& mesh,
+                         const std::array<std::size_t, 3>& m);
+
+/// PME influence function for the CIC (order-2 B-spline) window with ik
+/// differentiation: G(k) = 4 pi exp(-k^2/(4 alpha^2)) / k^2 / W(k)^2 where
+/// W is the combined assignment+interpolation deconvolution. Returns 0 for
+/// the k = 0 mode.
+double influence(const domain::Box& box, const std::array<std::size_t, 3>& mesh,
+                 const std::array<std::size_t, 3>& m, double alpha);
+
+}  // namespace pm

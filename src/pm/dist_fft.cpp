@@ -1,0 +1,147 @@
+#include "pm/dist_fft.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pm {
+
+DistFft3d::DistFft3d(const mpi::Comm& comm, std::size_t nx, std::size_t ny,
+                     std::size_t nz)
+    : comm_(comm), nx_(nx), ny_(ny), nz_(nz) {
+  FCS_CHECK(is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+            "mesh dimensions must be powers of two");
+  nslabs_ = static_cast<int>(std::min<std::size_t>(comm.size(), nx));
+  nyslabs_ = static_cast<int>(std::min<std::size_t>(comm.size(), ny));
+  const int r = comm.rank();
+  x0_ = r < nslabs_ ? plane_begin_of(r, nx_) : nx_;
+  x1_ = r < nslabs_ ? plane_begin_of(r + 1, nx_) : nx_;
+  y0_ = r < nyslabs_ ? (static_cast<std::size_t>(r) * ny_) / nyslabs_ : ny_;
+  y1_ = r < nyslabs_ ? ((static_cast<std::size_t>(r) + 1) * ny_) / nyslabs_ : ny_;
+}
+
+std::size_t DistFft3d::plane_begin_of(int rank, std::size_t total) const {
+  if (rank >= nslabs_) return total;
+  return (static_cast<std::size_t>(rank) * total) / nslabs_;
+}
+
+int DistFft3d::owner_of_plane(std::size_t x) const {
+  FCS_CHECK(x < nx_, "plane index out of range");
+  // Inverse of the contiguous block distribution.
+  int lo = 0, hi = nslabs_ - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (plane_begin_of(mid, nx_) <= x)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::vector<Complex> DistFft3d::to_y_slabs(
+    const std::vector<Complex>& slab) const {
+  const int p = comm_.size();
+  // Pack per destination: my x-planes, destination's y range, all z.
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), 0);
+  std::vector<Complex> packed;
+  packed.reserve(slab.size());
+  for (int d = 0; d < p; ++d) {
+    const std::size_t dy0 =
+        d < nyslabs_ ? (static_cast<std::size_t>(d) * ny_) / nyslabs_ : ny_;
+    const std::size_t dy1 =
+        d < nyslabs_ ? ((static_cast<std::size_t>(d) + 1) * ny_) / nyslabs_ : ny_;
+    for (std::size_t x = x0_; x < x1_; ++x)
+      for (std::size_t y = dy0; y < dy1; ++y) {
+        const Complex* row = slab.data() + ((x - x0_) * ny_ + y) * nz_;
+        packed.insert(packed.end(), row, row + nz_);
+      }
+    send_counts[static_cast<std::size_t>(d)] = (x1_ - x0_) * (dy1 - dy0) * nz_;
+  }
+
+  std::vector<std::size_t> recv_counts;
+  std::vector<Complex> received =
+      comm_.alltoallv(packed.data(), send_counts, recv_counts);
+
+  // Unpack into (y_local, x_global, z).
+  std::vector<Complex> yslab((y1_ - y0_) * nx_ * nz_);
+  std::size_t pos = 0;
+  for (int s = 0; s < p; ++s) {
+    const std::size_t sx0 = s < nslabs_ ? plane_begin_of(s, nx_) : nx_;
+    const std::size_t sx1 = s < nslabs_ ? plane_begin_of(s + 1, nx_) : nx_;
+    for (std::size_t x = sx0; x < sx1; ++x)
+      for (std::size_t y = y0_; y < y1_; ++y) {
+        std::copy_n(received.data() + pos, nz_,
+                    yslab.data() + ((y - y0_) * nx_ + x) * nz_);
+        pos += nz_;
+      }
+  }
+  FCS_ASSERT(pos == received.size());
+  return yslab;
+}
+
+std::vector<Complex> DistFft3d::to_x_slabs(
+    const std::vector<Complex>& yslab) const {
+  const int p = comm_.size();
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), 0);
+  std::vector<Complex> packed;
+  packed.reserve(yslab.size());
+  for (int d = 0; d < p; ++d) {
+    const std::size_t dx0 = d < nslabs_ ? plane_begin_of(d, nx_) : nx_;
+    const std::size_t dx1 = d < nslabs_ ? plane_begin_of(d + 1, nx_) : nx_;
+    for (std::size_t x = dx0; x < dx1; ++x)
+      for (std::size_t y = y0_; y < y1_; ++y) {
+        const Complex* row = yslab.data() + ((y - y0_) * nx_ + x) * nz_;
+        packed.insert(packed.end(), row, row + nz_);
+      }
+    send_counts[static_cast<std::size_t>(d)] = (dx1 - dx0) * (y1_ - y0_) * nz_;
+  }
+
+  std::vector<std::size_t> recv_counts;
+  std::vector<Complex> received =
+      comm_.alltoallv(packed.data(), send_counts, recv_counts);
+
+  std::vector<Complex> slab((x1_ - x0_) * ny_ * nz_);
+  std::size_t pos = 0;
+  for (int s = 0; s < p; ++s) {
+    const std::size_t sy0 =
+        s < nyslabs_ ? (static_cast<std::size_t>(s) * ny_) / nyslabs_ : ny_;
+    const std::size_t sy1 =
+        s < nyslabs_ ? ((static_cast<std::size_t>(s) + 1) * ny_) / nyslabs_ : ny_;
+    for (std::size_t x = x0_; x < x1_; ++x)
+      for (std::size_t y = sy0; y < sy1; ++y) {
+        std::copy_n(received.data() + pos, nz_,
+                    slab.data() + ((x - x0_) * ny_ + y) * nz_);
+        pos += nz_;
+      }
+  }
+  FCS_ASSERT(pos == received.size());
+  return slab;
+}
+
+void DistFft3d::transform(std::vector<Complex>& slab, int sign) const {
+  FCS_CHECK(slab.size() == slab_planes() * ny_ * nz_,
+            "slab buffer has wrong size");
+
+  // 2-D FFT in (y, z) on each of my x-planes.
+  for (std::size_t x = 0; x < slab_planes(); ++x) {
+    Complex* plane = slab.data() + x * ny_ * nz_;
+    for (std::size_t y = 0; y < ny_; ++y)
+      fft_strided(plane + y * nz_, nz_, 1, sign);
+    for (std::size_t z = 0; z < nz_; ++z)
+      fft_strided(plane + z, ny_, nz_, sign);
+  }
+  comm_.ctx().charge_ops(5.0 * static_cast<double>(slab.size()) *
+                         (std::log2(static_cast<double>(ny_ * nz_)) + 1));
+
+  // Transpose, 1-D FFT along x, transpose back.
+  std::vector<Complex> yslab = to_y_slabs(slab);
+  for (std::size_t y = 0; y < y1_ - y0_; ++y)
+    for (std::size_t z = 0; z < nz_; ++z)
+      fft_strided(yslab.data() + y * nx_ * nz_ + z, nx_, nz_, sign);
+  comm_.ctx().charge_ops(5.0 * static_cast<double>(yslab.size()) *
+                         (std::log2(static_cast<double>(nx_)) + 1));
+  slab = to_x_slabs(yslab);
+}
+
+}  // namespace pm

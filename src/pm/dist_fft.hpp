@@ -1,0 +1,58 @@
+// Slab-decomposed distributed 3-D FFT.
+//
+// The global nx*ny*nz complex mesh is distributed over min(P, nx) ranks as
+// contiguous blocks of x-planes. A forward transform does local 2-D FFTs in
+// (y, z), a collective transpose to y-slabs, 1-D FFTs along x, and a
+// transpose back, so the data returns in x-slab layout with k-space indices
+// matching mesh indices. Ranks beyond nx participate in the collective calls
+// with empty slabs.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "pm/fft.hpp"
+
+namespace pm {
+
+class DistFft3d {
+ public:
+  /// Collective over `comm`.
+  DistFft3d(const mpi::Comm& comm, std::size_t nx, std::size_t ny,
+            std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+
+  /// Global x-plane range owned by this rank.
+  std::size_t slab_begin() const { return x0_; }
+  std::size_t slab_end() const { return x1_; }
+  std::size_t slab_planes() const { return x1_ - x0_; }
+  /// Owner rank (in the full communicator) of a global x-plane.
+  int owner_of_plane(std::size_t x) const;
+
+  /// Unnormalized forward transform of the local slab
+  /// (layout: (x_local, y, z), z fastest). Collective.
+  void forward(std::vector<Complex>& slab) const { transform(slab, -1); }
+  /// Unnormalized backward transform. forward+backward scales by nx*ny*nz.
+  void backward(std::vector<Complex>& slab) const { transform(slab, +1); }
+
+ private:
+  void transform(std::vector<Complex>& slab, int sign) const;
+  /// Transpose x-slabs (x_local, y, z) -> y-slabs (y_local, x, z).
+  std::vector<Complex> to_y_slabs(const std::vector<Complex>& slab) const;
+  /// Inverse of to_y_slabs.
+  std::vector<Complex> to_x_slabs(const std::vector<Complex>& yslab) const;
+
+  std::size_t plane_begin_of(int rank, std::size_t total) const;
+
+  mpi::Comm comm_;
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  int nslabs_ = 0;   // ranks holding x-planes
+  int nyslabs_ = 0;  // ranks holding y-planes during the transpose
+  std::size_t x0_ = 0, x1_ = 0;  // my x range
+  std::size_t y0_ = 0, y1_ = 0;  // my y range (transposed layout)
+};
+
+}  // namespace pm

@@ -1,0 +1,118 @@
+#include "pm/ewald.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <complex>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace pm {
+
+using domain::Vec3;
+
+EwaldParams tune_ewald(const domain::Box& box, double rcut, double accuracy) {
+  FCS_CHECK(rcut > 0, "Ewald needs a positive real-space cutoff");
+  FCS_CHECK(accuracy > 0 && accuracy < 1, "accuracy must be in (0,1)");
+  EwaldParams p;
+  p.rcut = rcut;
+  // Real-space error ~ erfc(alpha rcut): pick alpha so the complementary
+  // error function tail matches the accuracy target.
+  double alpha = 1.0 / rcut;
+  while (std::erfc(alpha * rcut) > accuracy) alpha *= 1.1;
+  p.alpha = alpha;
+  // Reciprocal error ~ exp(-(pi m / (alpha L))^2): grow kmax until the tail
+  // is below target on the largest axis.
+  const double lmax =
+      std::max({box.extent().x, box.extent().y, box.extent().z});
+  int kmax = 1;
+  while (kmax < 64) {
+    const double kk = 2.0 * std::numbers::pi * kmax / lmax;
+    if (std::exp(-kk * kk / (4.0 * alpha * alpha)) < accuracy) break;
+    ++kmax;
+  }
+  p.kmax = kmax;
+  return p;
+}
+
+void ewald_reference(const domain::Box& box,
+                     const std::vector<domain::Vec3>& positions,
+                     const std::vector<double>& charges,
+                     const EwaldParams& params,
+                     std::vector<double>& potentials,
+                     std::vector<domain::Vec3>& field) {
+  FCS_CHECK(box.fully_periodic(), "Ewald requires a fully periodic box");
+  const std::size_t n = positions.size();
+  FCS_CHECK(charges.size() == n, "positions/charges size mismatch");
+  potentials.assign(n, 0.0);
+  field.assign(n, Vec3{});
+
+  const double alpha = params.alpha;
+  const double two_over_sqrt_pi = 2.0 / std::sqrt(std::numbers::pi);
+
+  // Real-space part: minimum image with cutoff.
+  const double rc2 = params.rcut * params.rcut;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 d = box.minimum_image(positions[i], positions[j]);
+      const double r2 = d.norm2();
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double erfc_term = std::erfc(alpha * r) / r;
+      potentials[i] += charges[j] * erfc_term;
+      potentials[j] += charges[i] * erfc_term;
+      const double fmag =
+          (erfc_term + two_over_sqrt_pi * alpha * std::exp(-alpha * alpha * r2)) /
+          r2;
+      field[i] += d * (charges[j] * fmag);
+      field[j] -= d * (charges[i] * fmag);
+    }
+  }
+
+  // Reciprocal-space part.
+  const Vec3 L = box.extent();
+  const double volume = box.volume();
+  const double four_pi_over_v = 4.0 * std::numbers::pi / volume;
+  for (int mx = -params.kmax; mx <= params.kmax; ++mx)
+    for (int my = -params.kmax; my <= params.kmax; ++my)
+      for (int mz = -params.kmax; mz <= params.kmax; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        const Vec3 k{2.0 * std::numbers::pi * mx / L.x,
+                     2.0 * std::numbers::pi * my / L.y,
+                     2.0 * std::numbers::pi * mz / L.z};
+        const double k2 = k.norm2();
+        const double g = four_pi_over_v * std::exp(-k2 / (4 * alpha * alpha)) / k2;
+        if (g < 1e-18) continue;
+        std::complex<double> s(0, 0);
+        for (std::size_t j = 0; j < n; ++j) {
+          const double phase = k.dot(positions[j]);
+          s += charges[j] * std::complex<double>(std::cos(phase), std::sin(phase));
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double phase = k.dot(positions[i]);
+          const std::complex<double> e(std::cos(phase), -std::sin(phase));
+          const std::complex<double> se = s * e;
+          potentials[i] += g * se.real();
+          field[i] -= k * (g * se.imag());
+        }
+      }
+
+  // Self term and charged-system background correction.
+  double qtot = 0.0;
+  for (double q : charges) qtot += q;
+  const double background =
+      std::numbers::pi / (alpha * alpha * volume) * qtot;
+  for (std::size_t i = 0; i < n; ++i)
+    potentials[i] -= two_over_sqrt_pi * alpha * charges[i] + background;
+}
+
+double total_energy(const std::vector<double>& charges,
+                    const std::vector<double>& potentials) {
+  FCS_CHECK(charges.size() == potentials.size(), "size mismatch");
+  double u = 0.0;
+  for (std::size_t i = 0; i < charges.size(); ++i)
+    u += charges[i] * potentials[i];
+  return 0.5 * u;
+}
+
+}  // namespace pm

@@ -1,0 +1,39 @@
+// Classic Ewald summation: the serial reference for periodic Coulomb
+// systems. Used as the accuracy oracle for the particle-mesh solver, as the
+// tuning model for its parameters, and as a runnable baseline solver.
+//
+// Conventions: Gaussian units, pair energy q_i q_j / r; "field" E_i is the
+// force on particle i divided by q_i; total energy U = 1/2 sum_i q_i phi_i.
+#pragma once
+
+#include <vector>
+
+#include "domain/box.hpp"
+#include "domain/vec3.hpp"
+
+namespace pm {
+
+struct EwaldParams {
+  double alpha = 1.0;  // splitting parameter
+  double rcut = 0.0;   // real-space cutoff (minimum image)
+  int kmax = 8;        // reciprocal vectors with |m_d| <= kmax per axis
+};
+
+/// Choose alpha and kmax for a target relative accuracy given a real-space
+/// cutoff (standard erfc / Gaussian tail estimates).
+EwaldParams tune_ewald(const domain::Box& box, double rcut, double accuracy);
+
+/// Serial O(n^2 + n kmax^3) Ewald sum over all local arrays (positions must
+/// be inside the fully periodic box). Appends into potentials/field.
+void ewald_reference(const domain::Box& box,
+                     const std::vector<domain::Vec3>& positions,
+                     const std::vector<double>& charges,
+                     const EwaldParams& params,
+                     std::vector<double>& potentials,
+                     std::vector<domain::Vec3>& field);
+
+/// Total electrostatic energy 1/2 sum q_i phi_i.
+double total_energy(const std::vector<double>& charges,
+                    const std::vector<double>& potentials);
+
+}  // namespace pm

@@ -1,0 +1,79 @@
+#include "pm/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace pm {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_strided(Complex* data, std::size_t n, std::size_t stride, int sign) {
+  FCS_CHECK(is_pow2(n), "FFT length " << n << " is not a power of two");
+  FCS_CHECK(sign == 1 || sign == -1, "FFT sign must be +-1");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex& a = data[(i + k) * stride];
+        Complex& b = data[(i + k + len / 2) * stride];
+        const Complex u = a;
+        const Complex v = b * w;
+        a = u + v;
+        b = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft(std::vector<Complex>& data, int sign) {
+  fft_strided(data.data(), data.size(), 1, sign);
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in, int sign) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * j % n) / static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void fft3d(std::vector<Complex>& mesh, std::size_t nx, std::size_t ny,
+           std::size_t nz, int sign) {
+  FCS_CHECK(mesh.size() == nx * ny * nz, "mesh size mismatch");
+  // z transforms: contiguous.
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t y = 0; y < ny; ++y)
+      fft_strided(mesh.data() + (x * ny + y) * nz, nz, 1, sign);
+  // y transforms: stride nz.
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft_strided(mesh.data() + x * ny * nz + z, ny, nz, sign);
+  // x transforms: stride ny*nz.
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft_strided(mesh.data() + y * nz + z, nx, ny * nz, sign);
+}
+
+}  // namespace pm

@@ -1,0 +1,33 @@
+// Complex radix-2 FFT used by the particle-mesh solver's k-space part.
+//
+// The library has no FFTW available offline, so it carries its own iterative
+// in-place Cooley-Tukey transform plus strided and 3-D helpers. Mesh sizes
+// are restricted to powers of two, which the tuner guarantees.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pm {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// In-place FFT of `n` elements at stride `stride` starting at data.
+/// sign = -1: forward (e^{-i2pi...}), +1: backward (unnormalized).
+void fft_strided(Complex* data, std::size_t n, std::size_t stride, int sign);
+
+/// In-place 1-D FFT of a contiguous vector.
+void fft(std::vector<Complex>& data, int sign);
+
+/// Naive O(n^2) DFT for testing.
+std::vector<Complex> dft_reference(const std::vector<Complex>& in, int sign);
+
+/// In-place 3-D FFT of an nx*ny*nz row-major mesh (z fastest). Unnormalized;
+/// a forward+backward pair scales by nx*ny*nz.
+void fft3d(std::vector<Complex>& mesh, std::size_t nx, std::size_t ny,
+           std::size_t nz, int sign);
+
+}  // namespace pm

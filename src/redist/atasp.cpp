@@ -1,0 +1,4 @@
+#include "redist/atasp.hpp"
+
+// The redistribution operations are templates (see atasp.hpp, resort.hpp,
+// neighborhood.hpp); this translation unit anchors the library target.

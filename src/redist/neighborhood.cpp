@@ -1,0 +1,3 @@
+#include "redist/neighborhood.hpp"
+
+// neighborhood_alltoallv is a template; see the header.

@@ -1,0 +1,80 @@
+// Neighborhood exchange over a fixed, symmetric neighbor list.
+//
+// When the application reports the maximum particle movement and it is small
+// enough that particles can only cross into directly neighboring subdomains,
+// the P2NFFT-style solver replaces the collective all-to-all with
+// point-to-point messages to the grid neighbors only (paper Section III-B).
+// Unlike the NBX-style sparse exchange, the partner set is known up front,
+// so no synchronization round is needed at all - each rank posts exactly one
+// (possibly empty) send and one receive per neighbor.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace redist {
+
+/// Exchange typed data with the given neighbors. `send_counts` has one entry
+/// per communicator rank but may only be non-zero for self or listed
+/// neighbors (checked). Data is packed destination-major like alltoallv.
+/// Returns received elements grouped by source rank; recv_counts is resized
+/// to the communicator size.
+template <class T>
+std::vector<T> neighborhood_alltoallv(const mpi::Comm& comm,
+                                      const std::vector<int>& neighbors,
+                                      const T* data,
+                                      const std::vector<std::size_t>& send_counts,
+                                      std::vector<std::size_t>& recv_counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int r = comm.rank();
+  FCS_CHECK(static_cast<int>(send_counts.size()) == p,
+            "need one send count per rank");
+  constexpr int kTag = 0x1eab;  // any fixed user tag works: BSP usage
+
+  std::vector<char> is_neighbor(static_cast<std::size_t>(p), 0);
+  for (int n : neighbors) {
+    FCS_CHECK(n >= 0 && n < p && n != r, "invalid neighbor rank " << n);
+    is_neighbor[static_cast<std::size_t>(n)] = 1;
+  }
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int d = 0; d < p; ++d) {
+    FCS_CHECK(send_counts[static_cast<std::size_t>(d)] == 0 || d == r ||
+                  is_neighbor[static_cast<std::size_t>(d)],
+              "neighborhood exchange: data for non-neighbor rank " << d);
+    offsets[static_cast<std::size_t>(d) + 1] =
+        offsets[static_cast<std::size_t>(d)] + send_counts[static_cast<std::size_t>(d)];
+  }
+
+  // Post all sends (eager), then receive one message from every neighbor.
+  for (int n : neighbors)
+    comm.send(data + offsets[static_cast<std::size_t>(n)],
+              send_counts[static_cast<std::size_t>(n)], n, kTag);
+
+  recv_counts.assign(static_cast<std::size_t>(p), 0);
+  recv_counts[static_cast<std::size_t>(r)] = send_counts[static_cast<std::size_t>(r)];
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  for (int n : neighbors) {
+    incoming[static_cast<std::size_t>(n)] = comm.recv_vec<T>(n, kTag);
+    recv_counts[static_cast<std::size_t>(n)] =
+        incoming[static_cast<std::size_t>(n)].size();
+  }
+
+  std::size_t total = 0;
+  for (std::size_t c : recv_counts) total += c;
+  std::vector<T> out;
+  out.reserve(total);
+  for (int src = 0; src < p; ++src) {
+    if (src == r) {
+      out.insert(out.end(), data + offsets[static_cast<std::size_t>(r)],
+                 data + offsets[static_cast<std::size_t>(r) + 1]);
+    } else {
+      const auto& blk = incoming[static_cast<std::size_t>(src)];
+      out.insert(out.end(), blk.begin(), blk.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace redist

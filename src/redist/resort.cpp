@@ -1,0 +1,47 @@
+#include "redist/resort.hpp"
+
+namespace redist {
+
+std::vector<std::uint64_t> consecutive_origin_indices(int rank,
+                                                      std::size_t n) {
+  FCS_CHECK(n <= 0xffffffffULL, "more than 2^32 local particles");
+  std::vector<std::uint64_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = make_index(rank, i);
+  return indices;
+}
+
+std::vector<std::uint64_t> invert_origin_indices(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& origin_of_current,
+    std::size_t n_original, ExchangeKind kind) {
+  struct Packet {
+    std::uint64_t origin;   // where the particle came from
+    std::uint64_t current;  // where it is now
+  };
+  std::vector<Packet> packets;
+  packets.reserve(origin_of_current.size());
+  for (std::size_t i = 0; i < origin_of_current.size(); ++i)
+    packets.push_back(
+        Packet{origin_of_current[i], make_index(comm.rank(), i)});
+
+  std::vector<Packet> received = fine_grained_redistribute(
+      comm, packets,
+      [](const Packet& pk, std::size_t, std::vector<int>& targets) {
+        targets.push_back(index_rank(pk.origin));
+      },
+      kind);
+
+  FCS_CHECK(received.size() == n_original,
+            "invert: expected " << n_original << " indices, received "
+                                << received.size());
+  std::vector<std::uint64_t> resort_indices(n_original, ~std::uint64_t{0});
+  for (const Packet& pk : received) {
+    const std::uint32_t pos = index_pos(pk.origin);
+    FCS_CHECK(pos < n_original, "invert: origin position out of range");
+    FCS_CHECK(resort_indices[pos] == ~std::uint64_t{0},
+              "invert: duplicate origin position " << pos);
+    resort_indices[pos] = pk.current;
+  }
+  return resort_indices;
+}
+
+}  // namespace redist

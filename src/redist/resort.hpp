@@ -1,0 +1,150 @@
+// Resort indices and the subsequent reordering/redistribution of additional
+// particle data (paper Section III).
+//
+// Both solvers label each particle copy with a 64-bit ORIGIN INDEX
+// (source rank in the high 32 bits, source position in the low 32) before
+// reordering it. Method A uses the origin indices to restore the original
+// order and distribution. Method B instead INVERTS them into RESORT INDICES
+// - for every original particle, the rank and position it ended up at - and
+// hands those to the application so that additional per-particle data
+// (velocities, accelerations) can follow the particles with
+// fcs_resort_floats/ints (implemented here as resort_values).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "redist/atasp.hpp"
+
+namespace redist {
+
+/// Pack (rank, position) into an origin/resort index.
+inline std::uint64_t make_index(int rank, std::uint64_t pos) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) |
+         (pos & 0xffffffffULL);
+}
+inline int index_rank(std::uint64_t index) {
+  return static_cast<int>(index >> 32);
+}
+inline std::uint32_t index_pos(std::uint64_t index) {
+  return static_cast<std::uint32_t>(index & 0xffffffffULL);
+}
+
+/// Build the consecutive global numbering of the original particles: local
+/// particle i gets make_index(rank, i). (Paper: "a global numbering of the
+/// particles on all processes is used such that the particles of each single
+/// process are consecutively numbered.")
+std::vector<std::uint64_t> consecutive_origin_indices(int rank, std::size_t n);
+
+/// METHOD A restore: send every current element back to the rank and
+/// position named by its origin index (paper Figure 4). `origin(item)`
+/// extracts the index. Returns n_original elements in original local order.
+template <class T, class OriginFn>
+std::vector<T> restore_to_origin(const mpi::Comm& comm,
+                                 const std::vector<T>& items, OriginFn origin,
+                                 std::size_t n_original, ExchangeKind kind) {
+  struct Packet {
+    std::uint64_t origin;
+    T value;
+  };
+  std::vector<Packet> packets;
+  packets.reserve(items.size());
+  for (const T& item : items) packets.push_back(Packet{origin(item), item});
+
+  std::vector<Packet> received = fine_grained_redistribute(
+      comm, packets,
+      [](const Packet& pk, std::size_t, std::vector<int>& targets) {
+        targets.push_back(index_rank(pk.origin));
+      },
+      kind);
+
+  FCS_CHECK(received.size() == n_original,
+            "restore: expected " << n_original << " elements, received "
+                                 << received.size());
+  std::vector<T> out(n_original);
+  std::vector<char> filled(n_original, 0);
+  for (const Packet& pk : received) {
+    const std::uint32_t pos = index_pos(pk.origin);
+    FCS_CHECK(pos < n_original, "restore: origin position " << pos
+                  << " out of range " << n_original);
+    FCS_CHECK(!filled[pos], "restore: duplicate element for position " << pos);
+    filled[pos] = 1;
+    out[pos] = pk.value;
+  }
+  return out;
+}
+
+/// METHOD B resort-index creation (paper Figure 5): given each CURRENT
+/// element's origin index, deliver to every ORIGINAL location the index of
+/// the element's current location. Result[i] on the origin rank says where
+/// original particle i now lives.
+std::vector<std::uint64_t> invert_origin_indices(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& origin_of_current,
+    std::size_t n_original, ExchangeKind kind);
+
+/// fcs_resort_floats / fcs_resort_ints: move additional per-particle data to
+/// the changed order and distribution. `resort_indices[i]` names the target
+/// (rank, position) of original particle i; `data` holds `components` values
+/// per original particle; the result holds `components` values for each of
+/// the `n_changed` particles now on this rank.
+template <class T>
+std::vector<T> resort_values(const mpi::Comm& comm,
+                             const std::vector<std::uint64_t>& resort_indices,
+                             const std::vector<T>& data, std::size_t components,
+                             std::size_t n_changed, ExchangeKind kind) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FCS_CHECK(data.size() == resort_indices.size() * components,
+            "resort: data size " << data.size() << " != " << components
+                                 << " components x " << resort_indices.size()
+                                 << " particles");
+  const int p = comm.size();
+  const std::size_t elem_bytes = sizeof(std::uint32_t) + components * sizeof(T);
+
+  std::vector<std::size_t> send_bytes(static_cast<std::size_t>(p), 0);
+  for (std::uint64_t idx : resort_indices) {
+    const int r = index_rank(idx);
+    FCS_CHECK(r >= 0 && r < p, "resort index names invalid rank " << r);
+    send_bytes[static_cast<std::size_t>(r)] += elem_bytes;
+  }
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int d = 0; d < p; ++d)
+    offsets[static_cast<std::size_t>(d) + 1] =
+        offsets[static_cast<std::size_t>(d)] + send_bytes[static_cast<std::size_t>(d)];
+  std::vector<std::byte> packed(offsets.back());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < resort_indices.size(); ++i) {
+    const std::uint64_t idx = resort_indices[i];
+    std::size_t& c = cursor[static_cast<std::size_t>(index_rank(idx))];
+    const std::uint32_t pos = index_pos(idx);
+    std::memcpy(packed.data() + c, &pos, sizeof pos);
+    std::memcpy(packed.data() + c + sizeof pos, data.data() + i * components,
+                components * sizeof(T));
+    c += elem_bytes;
+  }
+
+  std::vector<std::size_t> recv_bytes;
+  std::vector<std::byte> received =
+      kind == ExchangeKind::kDense
+          ? comm.alltoallv_bytes(packed.data(), send_bytes, recv_bytes)
+          : comm.sparse_alltoallv_bytes(packed.data(), send_bytes, recv_bytes);
+
+  FCS_CHECK(received.size() == n_changed * elem_bytes,
+            "resort: expected " << n_changed << " packets, received "
+                                << received.size() / elem_bytes);
+  std::vector<T> out(n_changed * components);
+  std::vector<char> filled(n_changed, 0);
+  for (std::size_t off = 0; off < received.size(); off += elem_bytes) {
+    std::uint32_t pos = 0;
+    std::memcpy(&pos, received.data() + off, sizeof pos);
+    FCS_CHECK(pos < n_changed, "resort: target position " << pos
+                  << " out of range " << n_changed);
+    FCS_CHECK(!filled[pos], "resort: duplicate packet for position " << pos);
+    filled[pos] = 1;
+    std::memcpy(out.data() + pos * components,
+                received.data() + off + sizeof pos, components * sizeof(T));
+  }
+  return out;
+}
+
+}  // namespace redist

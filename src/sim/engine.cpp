@@ -1,0 +1,179 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/fiber.hpp"
+#include "support/error.hpp"
+
+namespace sim {
+
+int RankCtx::nranks() const { return engine_->config().nranks; }
+
+const EngineConfig& RankCtx::config() const { return engine_->config(); }
+
+void RankCtx::advance(double seconds) {
+  FCS_ASSERT(seconds >= 0.0);
+  clock_ += seconds;
+}
+
+void RankCtx::charge_ops(double ops) {
+  clock_ += ops / engine_->config().compute_rate;
+}
+
+void RankCtx::charge_bytes(double bytes) {
+  clock_ += bytes / engine_->config().memory_rate;
+}
+
+void RankCtx::send(int dst, std::uint64_t tag, const void* data,
+                   std::size_t bytes) {
+  const EngineConfig& cfg = engine_->config();
+  FCS_CHECK(dst >= 0 && dst < cfg.nranks,
+            "send to invalid rank " << dst << " of " << cfg.nranks);
+  clock_ += cfg.send_overhead + static_cast<double>(bytes) / cfg.memory_rate +
+            cfg.network->injection_time(rank_, dst, bytes);
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.seq = engine_->mailbox().next_seq();
+  m.arrival = clock_ + cfg.network->p2p_time(rank_, dst, bytes);
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  engine_->wake_if_waiting(dst, m);
+  engine_->mailbox().deliver(dst, std::move(m));
+}
+
+RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
+  const EngineConfig& cfg = engine_->config();
+  for (;;) {
+    auto m = engine_->mailbox().try_match(rank_, src, tag);
+    if (m.has_value()) {
+      clock_ = std::max(clock_, m->arrival) + cfg.recv_overhead +
+               static_cast<double>(m->payload.size()) / cfg.memory_rate;
+      RecvInfo info;
+      info.src = m->src;
+      info.tag = m->tag;
+      info.arrival = m->arrival;
+      info.payload = std::move(m->payload);
+      return info;
+    }
+    engine_->block_current(*this, src, tag);
+  }
+}
+
+bool RankCtx::can_recv(int src, std::int64_t tag) const {
+  return engine_->mailbox().has_match(rank_, src, tag);
+}
+
+void RankCtx::yield() {
+  Fiber& f = *engine_->fibers_[static_cast<std::size_t>(rank_)];
+  f.yield();
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config), mailbox_(config.nranks) {
+  FCS_CHECK(config_.nranks >= 1, "engine needs at least one rank");
+  FCS_CHECK(config_.network != nullptr, "engine needs a network model");
+  contexts_.reserve(static_cast<std::size_t>(config_.nranks));
+  for (int r = 0; r < config_.nranks; ++r) contexts_.emplace_back(RankCtx(this, r));
+  final_clocks_.resize(static_cast<std::size_t>(config_.nranks), 0.0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::run(const std::function<void(RankCtx&)>& body) {
+  FCS_CHECK(!ran_, "Engine::run may be called only once");
+  ran_ = true;
+
+  fibers_.reserve(static_cast<std::size_t>(config_.nranks));
+  for (int r = 0; r < config_.nranks; ++r) {
+    RankCtx* ctx = &contexts_[static_cast<std::size_t>(r)];
+    fibers_.push_back(std::make_unique<Fiber>(
+        config_.stack_bytes, [body, ctx]() { body(*ctx); }));
+    push_runnable(r, 0.0);
+  }
+
+  int finished = 0;
+  while (finished < config_.nranks) {
+    if (runnable_.empty()) report_deadlock();
+    std::pop_heap(runnable_.begin(), runnable_.end(), std::greater<HeapEntry>());
+    const int r = runnable_.back().rank;
+    runnable_.pop_back();
+
+    Fiber& f = *fibers_[static_cast<std::size_t>(r)];
+    running_rank_ = r;
+    f.resume();  // rethrows rank exceptions
+    running_rank_ = -1;
+
+    switch (f.state()) {
+      case Fiber::State::kFinished:
+        ++finished;
+        final_clocks_[static_cast<std::size_t>(r)] =
+            contexts_[static_cast<std::size_t>(r)].now();
+        break;
+      case Fiber::State::kRunnable:
+        push_runnable(r, contexts_[static_cast<std::size_t>(r)].now());
+        break;
+      case Fiber::State::kBlocked:
+        break;  // woken by wake_if_waiting
+      case Fiber::State::kRunning:
+        FCS_ASSERT(false);
+    }
+  }
+}
+
+void Engine::block_current(RankCtx& ctx, int src, std::int64_t tag) {
+  ctx.wait_src_ = src;
+  ctx.wait_tag_ = tag;
+  Fiber& f = *fibers_[static_cast<std::size_t>(ctx.rank_)];
+  f.set_state(Fiber::State::kBlocked);
+  f.yield();
+}
+
+void Engine::wake_if_waiting(int dst, const Message& m) {
+  Fiber& f = *fibers_[static_cast<std::size_t>(dst)];
+  if (f.state() != Fiber::State::kBlocked) return;
+  const RankCtx& ctx = contexts_[static_cast<std::size_t>(dst)];
+  if (ctx.wait_src_ != kAnySource && ctx.wait_src_ != m.src) return;
+  if (ctx.wait_tag_ != kAnyTag &&
+      static_cast<std::uint64_t>(ctx.wait_tag_) != m.tag)
+    return;
+  f.set_state(Fiber::State::kRunnable);
+  push_runnable(dst, ctx.now());
+}
+
+void Engine::push_runnable(int rank, double clock) {
+  runnable_.push_back(HeapEntry{clock, push_seq_++, rank});
+  std::push_heap(runnable_.begin(), runnable_.end(), std::greater<HeapEntry>());
+}
+
+void Engine::report_deadlock() {
+  std::ostringstream oss;
+  oss << "deadlock: all unfinished ranks are blocked in recv; waiting ranks:";
+  int shown = 0;
+  for (int r = 0; r < config_.nranks && shown < 16; ++r) {
+    const Fiber& f = *fibers_[static_cast<std::size_t>(r)];
+    if (f.state() != Fiber::State::kBlocked) continue;
+    const RankCtx& ctx = contexts_[static_cast<std::size_t>(r)];
+    oss << " [rank " << r << " <- src=" << ctx.wait_src_
+        << " tag=" << ctx.wait_tag_ << "]";
+    ++shown;
+  }
+  throw fcs::Error(oss.str());
+}
+
+double Engine::makespan() const {
+  double m = 0.0;
+  for (double c : final_clocks_) m = std::max(m, c);
+  return m;
+}
+
+double run_spmd(EngineConfig config,
+                const std::function<void(RankCtx&)>& body) {
+  Engine engine(std::move(config));
+  engine.run(body);
+  return engine.makespan();
+}
+
+}  // namespace sim

@@ -1,0 +1,145 @@
+// The SPMD simulation engine.
+//
+// Engine runs `nranks` copies of a rank body, each on its own fiber, under a
+// deterministic scheduler that always resumes the runnable rank with the
+// smallest virtual clock. Communication costs are charged to the clocks
+// through the configured NetworkModel; computation is charged explicitly via
+// RankCtx::charge_ops / charge_bytes / advance. The resulting per-rank
+// clocks are the simulated parallel runtimes reported by the benchmarks.
+//
+// The engine is single-shot: construct, run() once, read the clocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/network.hpp"
+
+namespace sim {
+
+class Engine;
+class Fiber;
+
+struct EngineConfig {
+  int nranks = 1;
+  std::size_t stack_bytes = 512 * 1024;
+  std::shared_ptr<const NetworkModel> network = std::make_shared<IdealNetwork>();
+  /// Virtual floating point / integer operations per second (per rank).
+  double compute_rate = 2.0e9;
+  /// Virtual memory bandwidth in bytes per second; also charged per message
+  /// payload copy on the send and receive side.
+  double memory_rate = 6.0e9;
+  /// Fixed per-message CPU overheads.
+  double send_overhead = 4.0e-7;
+  double recv_overhead = 4.0e-7;
+};
+
+/// Handle the rank body uses to talk to the engine. One per rank, valid only
+/// during Engine::run().
+class RankCtx {
+ public:
+  int rank() const { return rank_; }
+  int nranks() const;
+
+  /// Current virtual time of this rank.
+  double now() const { return clock_; }
+
+  /// Charge raw seconds of local work.
+  void advance(double seconds);
+  /// Charge `ops` arithmetic operations at the configured compute rate.
+  void charge_ops(double ops);
+  /// Charge `bytes` of memory traffic at the configured memory rate.
+  void charge_bytes(double bytes);
+
+  /// Eager point-to-point send; never blocks.
+  void send(int dst, std::uint64_t tag, const void* data, std::size_t bytes);
+
+  struct RecvInfo {
+    int src = 0;
+    std::uint64_t tag = 0;
+    double arrival = 0.0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Blocking receive; src may be kAnySource, tag may be kAnyTag.
+  RecvInfo recv(int src, std::int64_t tag);
+
+  /// Non-consuming check whether a matching message is available now.
+  bool can_recv(int src, std::int64_t tag) const;
+
+  /// Cooperative yield back to the scheduler.
+  void yield();
+
+  const EngineConfig& config() const;
+
+ private:
+  friend class Engine;
+  RankCtx(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
+
+  Engine* engine_;
+  int rank_;
+  double clock_ = 0.0;
+  // Wait descriptor, valid while this rank is blocked in recv().
+  int wait_src_ = 0;
+  std::int64_t wait_tag_ = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run `body` as rank 0..nranks-1. Throws if any rank throws or if the
+  /// ranks deadlock; safe to call exactly once.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  /// Max final rank clock of the completed run (the parallel makespan).
+  double makespan() const;
+  const std::vector<double>& final_clocks() const { return final_clocks_; }
+
+  const EngineConfig& config() const { return config_; }
+  Mailbox& mailbox() { return mailbox_; }
+
+ private:
+  friend class RankCtx;
+
+  void block_current(RankCtx& ctx, int src, std::int64_t tag);
+  void wake_if_waiting(int dst, const Message& m);
+  [[noreturn]] void report_deadlock();
+
+  EngineConfig config_;
+  Mailbox mailbox_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<RankCtx> contexts_;
+  // Runnable min-heap keyed by (clock, push sequence); FIFO among equal
+  // clocks so yielding ranks cannot starve others. Each rank appears at most
+  // once.
+  struct HeapEntry {
+    double clock;
+    std::uint64_t seq;
+    int rank;
+    bool operator>(const HeapEntry& o) const {
+      if (clock != o.clock) return clock > o.clock;
+      return seq > o.seq;
+    }
+  };
+  void push_runnable(int rank, double clock);
+  std::vector<HeapEntry> runnable_;
+  std::uint64_t push_seq_ = 0;
+  std::vector<double> final_clocks_;
+  bool ran_ = false;
+  int running_rank_ = -1;
+};
+
+/// Convenience wrapper: build an engine, run the body, return the makespan.
+double run_spmd(EngineConfig config, const std::function<void(RankCtx&)>& body);
+
+}  // namespace sim

@@ -1,0 +1,76 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace sim {
+
+namespace {
+// makecontext() passes only ints; hand the fiber pointer over via a global
+// that is valid exactly during the first resume(). Single-threaded by design.
+Fiber* g_starting_fiber = nullptr;
+thread_local Fiber* g_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
+    : body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = ((stack_bytes + ps - 1) / ps) * ps;
+  stack_total_ = usable + ps;  // one guard page below the stack
+  stack_ = mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  FCS_CHECK(stack_ != MAP_FAILED, "mmap of fiber stack ("
+                                      << stack_total_ << " bytes) failed");
+  FCS_CHECK(mprotect(stack_, ps, PROT_NONE) == 0,
+            "mprotect of fiber guard page failed");
+
+  FCS_CHECK(getcontext(&context_) == 0, "getcontext failed");
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_) + ps;
+  context_.uc_stack.ss_size = usable;
+  context_.uc_link = &return_context_;
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  if (stack_ != nullptr) munmap(stack_, stack_total_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting_fiber;
+  g_starting_fiber = nullptr;
+  try {
+    self->body_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->state_ = State::kFinished;
+  // Falling off the end returns to uc_link == return_context_.
+}
+
+void Fiber::resume() {
+  FCS_ASSERT(state_ == State::kRunnable);
+  state_ = State::kRunning;
+  Fiber* const prev = g_current_fiber;
+  g_current_fiber = this;
+  g_starting_fiber = this;  // only read on the very first switch
+  swapcontext(&return_context_, &context_);
+  g_current_fiber = prev;
+  if (state_ == State::kRunning) state_ = State::kRunnable;
+  if (finished() && exception_) std::rethrow_exception(exception_);
+}
+
+void Fiber::yield() {
+  FCS_ASSERT(g_current_fiber == this);
+  swapcontext(&context_, &return_context_);
+}
+
+}  // namespace sim

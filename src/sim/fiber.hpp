@@ -1,0 +1,57 @@
+// Cooperative fibers (ucontext-based) used to run many simulated MPI ranks
+// inside one OS thread.
+//
+// Each simulated rank is a Fiber with its own mmap'ed stack (guard page at
+// the low end, MAP_NORESERVE so ten thousand ranks cost only the pages they
+// touch). Switching is explicit: the scheduler resumes a fiber, the fiber
+// yields back when it blocks on communication or finishes. There is no
+// preemption, which makes every run bit-deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace sim {
+
+class Fiber {
+ public:
+  enum class State { kRunnable, kRunning, kBlocked, kFinished };
+
+  /// Creates the fiber but does not start it; `body` runs on first resume().
+  Fiber(std::size_t stack_bytes, std::function<void()> body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the scheduler into this fiber. Returns when the fiber
+  /// yields or finishes. Rethrows any exception that escaped the body.
+  void resume();
+
+  /// Called from inside the fiber: switch back to the scheduler.
+  void yield();
+
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+  bool finished() const { return state_ == State::kFinished; }
+
+  /// Exception that escaped the fiber body, if any (already rethrown by
+  /// resume(); kept for diagnostics).
+  const std::exception_ptr& exception() const { return exception_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  void* stack_ = nullptr;
+  std::size_t stack_total_ = 0;  // includes guard page
+  State state_ = State::kRunnable;
+  std::exception_ptr exception_;
+};
+
+}  // namespace sim

@@ -1,0 +1,89 @@
+#include "sim/mailbox.hpp"
+
+#include "support/error.hpp"
+
+namespace sim {
+
+Mailbox::Mailbox(int nranks)
+    : queues_(static_cast<std::size_t>(nranks)),
+      pending_(static_cast<std::size_t>(nranks), 0) {}
+
+void Mailbox::deliver(int dst, Message m) {
+  FCS_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < queues_.size());
+  queues_[static_cast<std::size_t>(dst)][m.src].push_back(std::move(m));
+  ++pending_[static_cast<std::size_t>(dst)];
+}
+
+std::size_t Mailbox::find_in_source(const std::deque<Message>& q,
+                                    std::int64_t tag) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (tag == kAnyTag || q[i].tag == static_cast<std::uint64_t>(tag))
+      return i;
+  }
+  return npos;
+}
+
+std::optional<Message> Mailbox::try_match(int dst, int src, std::int64_t tag) {
+  auto& by_source = queues_[static_cast<std::size_t>(dst)];
+  SourceQueues::iterator chosen = by_source.end();
+  std::size_t chosen_index = npos;
+  if (src != kAnySource) {
+    auto it = by_source.find(src);
+    if (it == by_source.end()) return std::nullopt;
+    chosen_index = find_in_source(it->second, tag);
+    if (chosen_index == npos) return std::nullopt;
+    chosen = it;
+  } else {
+    // Wildcard: among every source's earliest matching message, take the one
+    // with the smallest (arrival, src, seq).
+    for (auto it = by_source.begin(); it != by_source.end(); ++it) {
+      const std::size_t i = find_in_source(it->second, tag);
+      if (i == npos) continue;
+      const Message& m = it->second[i];
+      if (chosen == by_source.end()) {
+        chosen = it;
+        chosen_index = i;
+        continue;
+      }
+      const Message& best = chosen->second[chosen_index];
+      if (m.arrival < best.arrival ||
+          (m.arrival == best.arrival &&
+           (m.src < best.src || (m.src == best.src && m.seq < best.seq)))) {
+        chosen = it;
+        chosen_index = i;
+      }
+    }
+    if (chosen == by_source.end()) return std::nullopt;
+  }
+  Message out = std::move(chosen->second[chosen_index]);
+  chosen->second.erase(chosen->second.begin() +
+                       static_cast<std::ptrdiff_t>(chosen_index));
+  if (chosen->second.empty()) by_source.erase(chosen);
+  --pending_[static_cast<std::size_t>(dst)];
+  return out;
+}
+
+bool Mailbox::has_match(int dst, int src, std::int64_t tag) const {
+  const auto& by_source = queues_[static_cast<std::size_t>(dst)];
+  if (src != kAnySource) {
+    auto it = by_source.find(src);
+    return it != by_source.end() && find_in_source(it->second, tag) != npos;
+  }
+  for (const auto& [s, q] : by_source) {
+    (void)s;
+    if (find_in_source(q, tag) != npos) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending_total() const {
+  std::size_t n = 0;
+  for (std::size_t p : pending_) n += p;
+  return n;
+}
+
+std::size_t Mailbox::pending_for(int dst) const {
+  return pending_[static_cast<std::size_t>(dst)];
+}
+
+}  // namespace sim

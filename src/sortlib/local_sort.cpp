@@ -1,0 +1,37 @@
+#include "sortlib/local_sort.hpp"
+
+#include <array>
+
+namespace sortlib {
+
+std::vector<std::uint32_t> radix_sort_permutation(
+    const std::vector<std::uint64_t>& keys) {
+  const std::size_t n = keys.size();
+  FCS_CHECK(n <= 0xffffffffULL, "radix permutation limited to 2^32 elements");
+  std::vector<std::uint32_t> order(n), scratch(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+
+  // Determine which 8-bit digits are actually used so nearly-uniform small
+  // key ranges (box ids) do not pay for all eight passes.
+  std::uint64_t key_or = 0;
+  for (std::uint64_t k : keys) key_or |= k;
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = 8 * pass;
+    if (((key_or >> shift) & 0xff) == 0 && (key_or >> shift) != 0) {
+      // No key has bits in this digit but higher digits exist: skip the pass.
+      continue;
+    }
+    if ((key_or >> shift) == 0) break;  // no higher bits at all
+    std::array<std::uint32_t, 257> count{};
+    for (std::size_t i = 0; i < n; ++i)
+      ++count[((keys[order[i]] >> shift) & 0xff) + 1];
+    for (int d = 0; d < 256; ++d) count[d + 1] += count[d];
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[count[(keys[order[i]] >> shift) & 0xff]++] = order[i];
+    order.swap(scratch);
+  }
+  return order;
+}
+
+}  // namespace sortlib

@@ -1,0 +1,83 @@
+// Local (single-rank) sorting primitives shared by the parallel sorts.
+//
+// Elements are arbitrary trivially-copyable records sorted by a 64-bit key
+// extracted with a caller-provided function (for particles: the Z-Morton box
+// id, or the origin index used when restoring the original order). The radix
+// path sorts a permutation of indices by key and then applies it, which is
+// how particle codes avoid shuffling wide records more than once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace sortlib {
+
+/// LSD radix sort (8-bit digits) of `keys`, producing the permutation that
+/// sorts them: order[i] = index of the i-th smallest key. Stable.
+std::vector<std::uint32_t> radix_sort_permutation(
+    const std::vector<std::uint64_t>& keys);
+
+/// Apply `order` (from radix_sort_permutation) out-of-place.
+template <class T>
+std::vector<T> apply_permutation(const std::vector<T>& items,
+                                 const std::vector<std::uint32_t>& order) {
+  FCS_CHECK(items.size() == order.size(), "permutation size mismatch");
+  std::vector<T> out;
+  out.reserve(items.size());
+  for (std::uint32_t idx : order) out.push_back(items[idx]);
+  return out;
+}
+
+/// Sort `items` in place by `key(item)`. Uses the radix path for large
+/// inputs and std::sort below the cutoff. Stable for equal keys.
+template <class T, class KeyFn>
+void sort_by_key(std::vector<T>& items, KeyFn key) {
+  constexpr std::size_t kRadixCutoff = 2048;
+  if (items.size() < kRadixCutoff) {
+    std::stable_sort(items.begin(), items.end(),
+                     [&](const T& a, const T& b) { return key(a) < key(b); });
+    return;
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(items.size());
+  for (const T& item : items) keys.push_back(key(item));
+  items = apply_permutation(items, radix_sort_permutation(keys));
+}
+
+template <class T, class KeyFn>
+bool is_sorted_by_key(const std::vector<T>& items, KeyFn key) {
+  return std::is_sorted(items.begin(), items.end(),
+                        [&](const T& a, const T& b) { return key(a) < key(b); });
+}
+
+/// Merge `runs.size()` consecutive sorted runs (given by their start offsets
+/// plus items.size() as the final bound) into one sorted sequence, in place.
+template <class T, class KeyFn>
+void merge_runs(std::vector<T>& items, std::vector<std::size_t> bounds,
+                KeyFn key) {
+  // bounds = run start offsets; append the end bound, then repeatedly merge
+  // adjacent run pairs until one run remains.
+  bounds.push_back(items.size());
+  auto cmp = [&](const T& a, const T& b) { return key(a) < key(b); };
+  auto it = [&](std::size_t i) {
+    return items.begin() + static_cast<std::ptrdiff_t>(i);
+  };
+  while (bounds.size() > 2) {
+    const std::size_t runs = bounds.size() - 1;
+    std::vector<std::size_t> next;
+    next.push_back(bounds[0]);
+    std::size_t i = 0;
+    for (; i + 2 <= runs; i += 2) {
+      std::inplace_merge(it(bounds[i]), it(bounds[i + 1]), it(bounds[i + 2]),
+                         cmp);
+      next.push_back(bounds[i + 2]);
+    }
+    if (i < runs) next.push_back(bounds[i + 1]);  // odd run carried over
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace sortlib

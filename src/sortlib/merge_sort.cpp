@@ -1,0 +1,30 @@
+#include "sortlib/merge_sort.hpp"
+
+namespace sortlib {
+
+std::vector<std::pair<int, int>> batcher_schedule(int n) {
+  FCS_CHECK(n >= 1, "schedule needs at least one line");
+  std::vector<std::pair<int, int>> schedule;
+  if (n < 2) return schedule;
+
+  int t = 0;
+  while ((1 << t) < n) ++t;  // t = ceil(log2 n)
+
+  // Knuth TAOCP vol. 3, Algorithm 5.2.2M (merge exchange).
+  for (int p = 1 << (t - 1); p > 0; p >>= 1) {
+    int q = 1 << (t - 1);
+    int r = 0;
+    int d = p;
+    for (;;) {
+      for (int i = 0; i + d < n; ++i)
+        if ((i & p) == r) schedule.emplace_back(i, i + d);
+      if (q == p) break;
+      d = q - p;
+      q >>= 1;
+      r = p;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sortlib

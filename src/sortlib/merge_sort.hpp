@@ -1,0 +1,174 @@
+// Merge-based parallel sorting (paper references [15], [16]).
+//
+// This is the sorting method the FMM solver switches to when the application
+// reports a small maximum particle movement: particles are then almost
+// sorted, most stay on their rank, and a merge-exchange network with an
+// early-exit probe turns nearly every compare-split step into a two-key
+// handshake instead of a bulk data exchange. Only point-to-point messages
+// are used - no collective all-to-all - which is exactly the contrast the
+// paper evaluates on the torus network.
+//
+// Unlike the partition sort, the merge sort keeps each rank's element COUNT
+// fixed; it permutes values across ranks but not the distribution shape.
+//
+// Batcher's merge-exchange network is provably correct for equal block
+// sizes; for the unequal counts a running simulation produces it is followed
+// by a cheap global sortedness check and, if ever needed, adjacent odd-even
+// transposition rounds until sorted (at most P, in practice zero).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "sortlib/local_sort.hpp"
+
+namespace sortlib {
+
+/// Comparator schedule of Batcher's merge-exchange network for `p` lines
+/// (Knuth TAOCP vol. 3, Algorithm 5.2.2M), in execution order.
+std::vector<std::pair<int, int>> batcher_schedule(int p);
+
+struct MergeSortStats {
+  std::size_t comparators = 0;   // comparators this rank participated in
+  std::size_t exchanges = 0;     // of those, how many moved bulk data
+  std::size_t fallback_rounds = 0;  // odd-even cleanup rounds (normally 0)
+};
+
+namespace detail {
+
+/// Probe message exchanged before a compare-split.
+struct SplitProbe {
+  std::uint64_t count = 0;
+  std::uint64_t boundary_key = 0;  // max key on the low side, min on the high
+};
+
+/// True if the ranks' data is globally sorted by key (collective).
+template <class T, class KeyFn>
+bool globally_sorted(const mpi::Comm& comm, const std::vector<T>& items,
+                     KeyFn key) {
+  struct Extent {
+    std::uint64_t any = 0;
+    std::uint64_t max = 0;
+  };
+  Extent mine;
+  if (!items.empty()) {
+    mine.any = 1;
+    mine.max = key(items.back());
+  }
+  auto op = [](const Extent& a, const Extent& b) {
+    // Combine left extent a with right extent b: keep the rightmost max.
+    Extent r;
+    r.any = a.any | b.any;
+    r.max = b.any ? b.max : a.max;
+    return r;
+  };
+  const Extent prev = comm.exscan(mine, op);
+  int ok = 1;
+  if (prev.any && !items.empty() && key(items.front()) < prev.max) ok = 0;
+  return comm.allreduce(ok, mpi::OpMin{}) == 1;
+}
+
+/// Compare-split between ranks `low` and `high` (this rank is one of them).
+/// Both keep their element counts; afterwards every key on `low` is <= every
+/// key on `high`. Returns true if bulk data was exchanged.
+template <class T, class KeyFn>
+bool compare_split(const mpi::Comm& comm, std::vector<T>& items, KeyFn key,
+                   int low, int high, int tag) {
+  const bool am_low = comm.rank() == low;
+  const int partner = am_low ? high : low;
+
+  SplitProbe mine;
+  mine.count = items.size();
+  if (!items.empty())
+    mine.boundary_key = am_low ? key(items.back()) : key(items.front());
+  SplitProbe theirs;
+  comm.sendrecv(&mine, 1, partner, tag, &theirs, 1, partner, tag);
+
+  const bool need =
+      mine.count > 0 && theirs.count > 0 &&
+      (am_low ? mine.boundary_key > theirs.boundary_key
+              : theirs.boundary_key > mine.boundary_key);
+  if (!need) return false;
+
+  comm.send(items.data(), items.size(), partner, tag);
+  std::vector<T> other = comm.recv_vec<T>(partner, tag);
+
+  std::vector<T> merged;
+  merged.reserve(items.size() + other.size());
+  // Deterministic tie order: the low rank's elements first.
+  const std::vector<T>& first = am_low ? items : other;
+  const std::vector<T>& second = am_low ? other : items;
+  std::merge(first.begin(), first.end(), second.begin(), second.end(),
+             std::back_inserter(merged),
+             [&](const T& a, const T& b) { return key(a) < key(b); });
+  const std::size_t n = items.size();
+  if (am_low)
+    items.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(n));
+  else
+    items.assign(merged.end() - static_cast<std::ptrdiff_t>(n), merged.end());
+  return true;
+}
+
+}  // namespace detail
+
+/// Globally sort `items` by key with the merge-exchange method. Keeps the
+/// per-rank counts fixed. Collective.
+template <class T, class KeyFn>
+MergeSortStats parallel_sort_merge(const mpi::Comm& comm, std::vector<T>& items,
+                                   KeyFn key) {
+  MergeSortStats stats;
+  sort_by_key(items, key);
+  const int p = comm.size();
+  if (p == 1) return stats;
+
+  const std::vector<std::pair<int, int>> schedule = batcher_schedule(p);
+  int tag = 1;
+  for (const auto& [a, b] : schedule) {
+    if (comm.rank() == a || comm.rank() == b) {
+      ++stats.comparators;
+      if (detail::compare_split(comm, items, key, a, b, tag)) ++stats.exchanges;
+    }
+    ++tag;
+  }
+
+  // Safety net for unequal block sizes: odd-even transposition over the
+  // NON-EMPTY ranks until globally sorted. (Batcher's network is only
+  // guaranteed for equal block sizes, and empty ranks in the middle would
+  // otherwise wall off adjacent exchanges - counts are fixed, so data must
+  // hop across them.) In the balanced case this costs one sortedness check.
+  const std::uint64_t my_count = items.size();
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+  comm.allgather(&my_count, 1, counts.data());
+  std::vector<int> active;
+  int my_pos = -1;
+  for (int r = 0; r < p; ++r) {
+    if (counts[static_cast<std::size_t>(r)] == 0) continue;
+    if (r == comm.rank()) my_pos = static_cast<int>(active.size());
+    active.push_back(r);
+  }
+
+  const int max_rounds = static_cast<int>(active.size()) + 1;
+  for (int round = 0; round <= max_rounds; ++round) {
+    if (detail::globally_sorted(comm, items, key)) return stats;
+    ++stats.fallback_rounds;
+    if (my_pos >= 0) {
+      const int phase = round % 2;
+      const int partner_pos = (my_pos % 2 == phase) ? my_pos + 1 : my_pos - 1;
+      if (partner_pos >= 0 && partner_pos < static_cast<int>(active.size())) {
+        const int partner = active[static_cast<std::size_t>(partner_pos)];
+        const bool am_low = comm.rank() < partner;
+        if (detail::compare_split(comm, items, key,
+                                  am_low ? comm.rank() : partner,
+                                  am_low ? partner : comm.rank(), tag + round))
+          ++stats.exchanges;
+      }
+    }
+  }
+  FCS_CHECK(false, "merge sort failed to converge after " << max_rounds
+                << " odd-even cleanup rounds");
+  return stats;  // unreachable
+}
+
+}  // namespace sortlib

@@ -1,0 +1,99 @@
+#include "sortlib/partition_sort.hpp"
+
+#include <algorithm>
+
+namespace sortlib {
+
+std::vector<std::uint64_t> balanced_target_prefix(std::uint64_t n_total,
+                                                  int p) {
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(p) - 1);
+  const std::uint64_t base = n_total / static_cast<std::uint64_t>(p);
+  const std::uint64_t rem = n_total % static_cast<std::uint64_t>(p);
+  std::uint64_t acc = 0;
+  for (int s = 0; s + 1 < p; ++s) {
+    acc += base + (static_cast<std::uint64_t>(s) < rem ? 1 : 0);
+    prefix[static_cast<std::size_t>(s)] = acc;
+  }
+  return prefix;
+}
+
+std::vector<std::size_t> exact_split_boundaries(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<std::uint64_t>& target_prefix) {
+  const int p = comm.size();
+  const std::size_t ns = target_prefix.size();
+  FCS_CHECK(static_cast<int>(ns) == p - 1,
+            "need exactly P-1 splitter targets");
+  FCS_ASSERT(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1, 0);
+  bounds[static_cast<std::size_t>(p)] = sorted_keys.size();
+  if (p == 1) return bounds;
+
+  // Global key range (empty ranks contribute neutral elements).
+  const std::uint64_t local_min =
+      sorted_keys.empty() ? ~std::uint64_t{0} : sorted_keys.front();
+  const std::uint64_t local_max = sorted_keys.empty() ? 0 : sorted_keys.back();
+  const std::uint64_t kmin = comm.allreduce(local_min, mpi::OpMin{});
+  const std::uint64_t kmax = comm.allreduce(local_max, mpi::OpMax{});
+  const std::uint64_t n_total = comm.allreduce(
+      static_cast<std::uint64_t>(sorted_keys.size()), mpi::OpSum{});
+  if (n_total == 0) return bounds;  // everything empty
+
+  // Batched binary search: k[s] = smallest key with G(k) >= target, where
+  // G(k) is the global number of elements with key <= k. All ranks iterate
+  // on identical lo/hi state, so the loop is collectively synchronized.
+  std::vector<std::uint64_t> lo(ns, kmin), hi(ns, kmax);
+  std::vector<std::uint64_t> counts(ns), global(ns);
+  auto count_leq = [&](std::uint64_t k) {
+    return static_cast<std::uint64_t>(
+        std::upper_bound(sorted_keys.begin(), sorted_keys.end(), k) -
+        sorted_keys.begin());
+  };
+  for (;;) {
+    bool open = false;
+    for (std::size_t s = 0; s < ns; ++s)
+      if (lo[s] < hi[s]) open = true;
+    if (!open) break;
+    for (std::size_t s = 0; s < ns; ++s)
+      counts[s] = count_leq(lo[s] + (hi[s] - lo[s]) / 2);
+    comm.allreduce(counts.data(), global.data(), ns, mpi::OpSum{});
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (lo[s] >= hi[s]) continue;
+      const std::uint64_t mid = lo[s] + (hi[s] - lo[s]) / 2;
+      if (global[s] >= target_prefix[s])
+        hi[s] = mid;
+      else
+        lo[s] = mid + 1;
+    }
+  }
+  // lo[s] now holds the splitter key k[s].
+
+  // Tie-breaking: targets may fall inside a group of equal keys. Count the
+  // elements strictly below k[s] globally and hand the remaining quota of
+  // key == k[s] elements to ranks in rank order.
+  std::vector<std::uint64_t> local_less(ns), local_ties(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const auto lb = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), lo[s]);
+    const auto ub = std::upper_bound(sorted_keys.begin(), sorted_keys.end(), lo[s]);
+    local_less[s] = static_cast<std::uint64_t>(lb - sorted_keys.begin());
+    local_ties[s] = static_cast<std::uint64_t>(ub - lb);
+  }
+  std::vector<std::uint64_t> global_less(ns), ties_before(ns);
+  comm.allreduce(local_less.data(), global_less.data(), ns, mpi::OpSum{});
+  comm.exscan_v(local_ties.data(), ties_before.data(), ns, mpi::OpSum{});
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    FCS_ASSERT(target_prefix[s] >= global_less[s]);
+    const std::uint64_t extra = target_prefix[s] - global_less[s];
+    std::uint64_t mine = 0;
+    if (extra > ties_before[s])
+      mine = std::min<std::uint64_t>(extra - ties_before[s], local_ties[s]);
+    bounds[s + 1] = static_cast<std::size_t>(local_less[s] + mine);
+  }
+  for (std::size_t s = 1; s < bounds.size(); ++s)
+    FCS_ASSERT(bounds[s] >= bounds[s - 1]);
+  return bounds;
+}
+
+}  // namespace sortlib

@@ -1,0 +1,93 @@
+// Partition-based parallel sorting (paper reference [12]).
+//
+// This is the sorting method the FMM solver uses for unsorted particle data:
+// every rank sorts locally, P-1 exact global splitters are found by a batched
+// binary search on the key space (with tie-breaking so arbitrary duplicate
+// distributions still split exactly), and one collective all-to-all moves
+// every element to its destination rank. The output distribution matches the
+// requested per-rank target counts (balanced by default), so the method also
+// *redistributes* while it sorts - which is exactly why it is expensive to
+// run in every time step and why the paper's method B tries to avoid it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "sortlib/local_sort.hpp"
+
+namespace sortlib {
+
+/// Compute local segment boundaries for exact splitting. `sorted_keys` are
+/// this rank's keys in ascending order; `target_prefix` holds the global
+/// number of elements that must end up strictly before each of the P-1
+/// splitters. Returns P+1 boundaries b with b[0] = 0, b[P] = n_local;
+/// elements [b[s], b[s+1]) go to rank s. Collective.
+std::vector<std::size_t> exact_split_boundaries(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<std::uint64_t>& target_prefix);
+
+/// Balanced target prefix: rank s receives n_total/P elements with the
+/// remainder spread over the lowest ranks.
+std::vector<std::uint64_t> balanced_target_prefix(std::uint64_t n_total, int p);
+
+/// Sort `items` globally by key across the communicator using exact
+/// splitting + alltoallv. Afterwards keys on rank r are all <= keys on rank
+/// r+1 and rank r holds target_counts[r] elements (balanced by default).
+template <class T, class KeyFn>
+void parallel_sort_partition(
+    const mpi::Comm& comm, std::vector<T>& items, KeyFn key,
+    const std::vector<std::uint64_t>* target_counts = nullptr) {
+  sort_by_key(items, key);
+  const int p = comm.size();
+  if (p == 1) return;
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(items.size());
+  for (const T& item : items) keys.push_back(key(item));
+
+  const std::uint64_t n_total =
+      comm.allreduce(static_cast<std::uint64_t>(items.size()), mpi::OpSum{});
+
+  std::vector<std::uint64_t> target_prefix;
+  if (target_counts != nullptr) {
+    FCS_CHECK(static_cast<int>(target_counts->size()) == p,
+              "need one target count per rank");
+    target_prefix.resize(static_cast<std::size_t>(p) - 1);
+    std::uint64_t acc = 0;
+    std::uint64_t total_targets = 0;
+    for (std::uint64_t c : *target_counts) total_targets += c;
+    FCS_CHECK(total_targets == n_total, "target counts must sum to the global "
+                  "element count (" << n_total << "), got " << total_targets);
+    for (int s = 0; s + 1 < p; ++s) {
+      acc += (*target_counts)[static_cast<std::size_t>(s)];
+      target_prefix[static_cast<std::size_t>(s)] = acc;
+    }
+  } else {
+    target_prefix = balanced_target_prefix(n_total, p);
+  }
+
+  const std::vector<std::size_t> bounds =
+      exact_split_boundaries(comm, keys, target_prefix);
+
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d)
+    send_counts[static_cast<std::size_t>(d)] =
+        bounds[static_cast<std::size_t>(d) + 1] - bounds[static_cast<std::size_t>(d)];
+
+  std::vector<std::size_t> recv_counts;
+  std::vector<T> received = comm.alltoallv(items.data(), send_counts, recv_counts);
+
+  // Each source's block arrives sorted; merge the runs.
+  std::vector<std::size_t> run_starts;
+  std::size_t off = 0;
+  for (std::size_t c : recv_counts) {
+    if (c > 0) run_starts.push_back(off);
+    off += c;
+  }
+  if (run_starts.empty()) run_starts.push_back(0);
+  merge_runs(received, std::move(run_starts), key);
+  items = std::move(received);
+}
+
+}  // namespace sortlib

@@ -1,0 +1,12 @@
+#include "support/error.hpp"
+
+namespace fcs::detail {
+
+void raise_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check `" << expr << "` failed: " << message;
+  throw Error(oss.str());
+}
+
+}  // namespace fcs::detail

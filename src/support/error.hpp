@@ -1,0 +1,50 @@
+// Error handling primitives shared by all subsystems.
+//
+// The library is exception-based: violated preconditions and internal
+// invariants throw fcs::Error with a formatted message carrying the source
+// location. FCS_CHECK is for user-facing precondition checks that stay on in
+// release builds; FCS_ASSERT is for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fcs {
+
+/// Exception type thrown by all subsystems of this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void raise_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace detail
+
+}  // namespace fcs
+
+/// Precondition check that remains active in release builds.
+/// Usage: FCS_CHECK(n >= 0, "particle count must be non-negative, got " << n);
+#define FCS_CHECK(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream fcs_check_oss_;                                  \
+      fcs_check_oss_ << msg; /* NOLINT */                                 \
+      ::fcs::detail::raise_error(__FILE__, __LINE__, #expr,               \
+                                 fcs_check_oss_.str());                   \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check; also active in release builds (the library is
+/// not performance-bound by these branches).
+#define FCS_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::fcs::detail::raise_error(__FILE__, __LINE__, #expr,               \
+                                 "internal invariant violated");          \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,45 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic pieces of the library (particle generators, random initial
+// distributions, surrogate motion models, test data) draw from Xoshiro256**
+// seeded through SplitMix64, so every run of every test and bench is
+// bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace fcs {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal variate (Box-Muller, no caching: deterministic stream).
+  double normal();
+
+  /// Derive an independent stream, e.g. one per rank: Rng(seed).stream(rank).
+  Rng stream(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace fcs

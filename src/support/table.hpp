@@ -1,0 +1,29 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// paper-figure data series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fcs {
+
+/// Collects rows of strings/numbers and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& begin_row();
+  Table& col(const std::string& value);
+  Table& col(double value, int precision = 6);
+  Table& col(long long value);
+
+  /// Print with a two-space gutter; numeric columns right-aligned as given.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcs

@@ -1,0 +1,26 @@
+// Shared helpers for tests that run SPMD rank bodies on the sim engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "minimpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace fcs_test {
+
+/// Run `body` across `nranks` simulated ranks on an ideal network and return
+/// the engine makespan. Exceptions from any rank propagate to the caller.
+inline double run_ranks(int nranks,
+                        const std::function<void(mpi::Comm&)>& body,
+                        std::shared_ptr<const sim::NetworkModel> net = nullptr) {
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  if (net) cfg.network = std::move(net);
+  return sim::run_spmd(cfg, [&body](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    body(comm);
+  });
+}
+
+}  // namespace fcs_test

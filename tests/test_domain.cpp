@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "domain/box.hpp"
+#include "domain/cart_grid.hpp"
+#include "domain/linked_cells.hpp"
+#include "domain/morton.hpp"
+#include "support/rng.hpp"
+
+using domain::Box;
+using domain::Vec3;
+
+namespace {
+
+TEST(Vec3Ops, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+  a[1] = 9;
+  EXPECT_DOUBLE_EQ(a.y, 9.0);
+}
+
+TEST(BoxBasics, WrapPeriodic) {
+  Box box({0, 0, 0}, {10, 10, 10}, {true, true, true});
+  const Vec3 w = box.wrap({12.5, -0.5, 30.0});
+  EXPECT_DOUBLE_EQ(w.x, 2.5);
+  EXPECT_DOUBLE_EQ(w.y, 9.5);
+  EXPECT_DOUBLE_EQ(w.z, 0.0);
+}
+
+TEST(BoxBasics, WrapNonPeriodicLeavesAlone) {
+  Box box({0, 0, 0}, {10, 10, 10}, {false, true, false});
+  const Vec3 w = box.wrap({12.5, 12.5, -3.0});
+  EXPECT_DOUBLE_EQ(w.x, 12.5);
+  EXPECT_DOUBLE_EQ(w.y, 2.5);
+  EXPECT_DOUBLE_EQ(w.z, -3.0);
+}
+
+TEST(BoxBasics, MinimumImage) {
+  Box box({0, 0, 0}, {10, 10, 10}, {true, true, true});
+  const Vec3 d = box.minimum_image({9.5, 0, 0}, {0.5, 0, 0});
+  EXPECT_DOUBLE_EQ(d.x, -1.0);  // across the boundary, not +9
+  const Vec3 d2 = box.minimum_image({3, 0, 0}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(d2.x, 2.0);
+}
+
+TEST(BoxBasics, OffsetBoxAndVolume) {
+  Box box({-5, -5, -5}, {10, 20, 30}, {true, true, true});
+  EXPECT_DOUBLE_EQ(box.volume(), 6000.0);
+  EXPECT_TRUE(box.contains({0, 10, 20}));
+  EXPECT_FALSE(box.contains({0, 16, 0}));
+  const Vec3 n = box.normalized({0, 5, 10});
+  EXPECT_DOUBLE_EQ(n.x, 0.5);
+  EXPECT_DOUBLE_EQ(n.y, 0.5);
+  EXPECT_DOUBLE_EQ(n.z, 0.5);
+}
+
+TEST(BoxBasics, FromBaseVectorsRejectsNonOrthorhombic) {
+  EXPECT_NO_THROW(Box::from_base_vectors({0, 0, 0}, {10, 0, 0}, {0, 10, 0},
+                                         {0, 0, 10}, {true, true, true}));
+  EXPECT_THROW(Box::from_base_vectors({0, 0, 0}, {10, 1, 0}, {0, 10, 0},
+                                      {0, 0, 10}, {true, true, true}),
+               fcs::Error);
+}
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  fcs::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    const auto y = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    const auto z = static_cast<std::uint32_t>(rng() & 0x1fffff);
+    std::uint32_t dx, dy, dz;
+    domain::morton_decode(domain::morton_encode(x, y, z), dx, dy, dz);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+    EXPECT_EQ(dz, z);
+  }
+}
+
+TEST(Morton, KnownSmallCodes) {
+  EXPECT_EQ(domain::morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(domain::morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(domain::morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(domain::morton_encode(0, 0, 1), 4u);
+  EXPECT_EQ(domain::morton_encode(1, 1, 1), 7u);
+  EXPECT_EQ(domain::morton_encode(2, 0, 0), 8u);
+}
+
+TEST(Morton, ParentChildRelation) {
+  const std::uint64_t code = domain::morton_encode(5, 9, 2);
+  for (int c = 0; c < 8; ++c)
+    EXPECT_EQ(domain::morton_parent(domain::morton_child(code, c)), code);
+}
+
+TEST(Morton, KeyRespectsLevelGranularity) {
+  Box box({0, 0, 0}, {8, 8, 8}, {true, true, true});
+  // Level 3: cells of size 1.
+  EXPECT_EQ(domain::morton_key(box, 3, {0.5, 0.5, 0.5}),
+            domain::morton_encode(0, 0, 0));
+  EXPECT_EQ(domain::morton_key(box, 3, {7.5, 0.5, 0.5}),
+            domain::morton_encode(7, 0, 0));
+  // Level 1: cells of size 4; (5,6,7) -> cell (1,1,1).
+  EXPECT_EQ(domain::morton_key(box, 1, {5, 6, 7}),
+            domain::morton_encode(1, 1, 1));
+  // Positions outside get wrapped first (periodic).
+  EXPECT_EQ(domain::morton_key(box, 3, {8.5, 0.5, 0.5}),
+            domain::morton_encode(0, 0, 0));
+}
+
+TEST(Morton, ZOrderLocality) {
+  // Consecutive Morton codes at one level share parents at the next: codes
+  // 8k..8k+7 all decode to one parent cell.
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    std::set<std::uint64_t> parents;
+    for (int c = 0; c < 8; ++c) parents.insert(domain::morton_parent(8 * k + c));
+    EXPECT_EQ(parents.size(), 1u);
+  }
+}
+
+TEST(CartGrid, RankPositionMapping) {
+  Box box({0, 0, 0}, {12, 12, 12}, {true, true, true});
+  domain::CartGrid grid(box, {3, 2, 2});
+  EXPECT_EQ(grid.nranks(), 12);
+  // Position in the first cell.
+  EXPECT_EQ(grid.rank_of_position({1, 1, 1}), 0);
+  // Coords round trip.
+  for (int r = 0; r < grid.nranks(); ++r)
+    EXPECT_EQ(grid.rank_of_coords(grid.coords_of_rank(r)), r);
+  // Every position maps into the rank whose subdomain contains it.
+  fcs::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.uniform(0, 12), rng.uniform(0, 12), rng.uniform(0, 12)};
+    const int r = grid.rank_of_position(p);
+    Vec3 lo, hi;
+    grid.subdomain(r, lo, hi);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(p[d], lo[d]);
+      EXPECT_LT(p[d], hi[d]);
+    }
+  }
+}
+
+TEST(CartGrid, GhostTargetsInterior) {
+  Box box({0, 0, 0}, {12, 12, 12}, {true, true, true});
+  domain::CartGrid grid(box, {3, 3, 3});  // subdomains of 4
+  // Deep inside a subdomain: no ghosts.
+  EXPECT_TRUE(grid.ghost_targets({6, 6, 6}, 1.0).empty());
+  // Near one face: exactly one ghost target.
+  EXPECT_EQ(grid.ghost_targets({4.5, 6, 6}, 1.0).size(), 1u);
+  // Near an edge (two faces): three targets (two faces + edge diagonal).
+  EXPECT_EQ(grid.ghost_targets({4.5, 4.5, 6}, 1.0).size(), 3u);
+  // Near a corner: seven targets.
+  EXPECT_EQ(grid.ghost_targets({4.5, 4.5, 4.5}, 1.0).size(), 7u);
+}
+
+TEST(CartGrid, GhostTargetsPeriodicWrap) {
+  Box box({0, 0, 0}, {12, 12, 12}, {true, true, true});
+  domain::CartGrid grid(box, {3, 3, 3});
+  // Particle at the global lower corner: ghosts wrap to the far side.
+  const auto t = grid.ghost_targets({0.5, 6, 6}, 1.0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], grid.rank_of_coords({2, 1, 1}));
+}
+
+TEST(CartGrid, GhostTargetsNonPeriodicClip) {
+  Box box({0, 0, 0}, {12, 12, 12}, {false, false, false});
+  domain::CartGrid grid(box, {3, 3, 3});
+  EXPECT_TRUE(grid.ghost_targets({0.5, 6, 6}, 1.0).empty());
+}
+
+TEST(CartGrid, HaloTooLargeThrows) {
+  Box box({0, 0, 0}, {12, 12, 12}, {true, true, true});
+  domain::CartGrid grid(box, {3, 3, 3});
+  EXPECT_THROW(grid.ghost_targets({6, 6, 6}, 5.0), fcs::Error);
+}
+
+// Brute-force oracle for the linked cells.
+TEST(LinkedCells, FindsExactlyTheCutoffPairs) {
+  fcs::Rng rng(7);
+  std::vector<Vec3> pos(300);
+  for (auto& p : pos)
+    p = {rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)};
+  const double cutoff = 1.3;
+
+  std::set<std::pair<std::size_t, std::size_t>> expected;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    for (std::size_t j = i + 1; j < pos.size(); ++j)
+      if ((pos[i] - pos[j]).norm2() < cutoff * cutoff)
+        expected.insert({i, j});
+
+  domain::LinkedCells cells({0, 0, 0}, {10, 10, 10}, cutoff, pos);
+  std::set<std::pair<std::size_t, std::size_t>> found;
+  cells.for_each_pair_within(cutoff, [&](std::size_t i, std::size_t j,
+                                         const Vec3& d, double r2) {
+    EXPECT_LT(r2, cutoff * cutoff);
+    EXPECT_NEAR((pos[i] - pos[j]).norm2(), d.norm2(), 1e-12);
+    auto key = i < j ? std::make_pair(i, j) : std::make_pair(j, i);
+    EXPECT_TRUE(found.insert(key).second) << "pair seen twice";
+  });
+  EXPECT_EQ(found, expected);
+}
+
+TEST(LinkedCells, NeighborQueryMatchesPairs) {
+  fcs::Rng rng(8);
+  std::vector<Vec3> pos(100);
+  for (auto& p : pos)
+    p = {rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)};
+  const double cutoff = 1.0;
+  domain::LinkedCells cells({0, 0, 0}, {5, 5, 5}, cutoff, pos);
+  for (std::size_t i = 0; i < pos.size(); i += 7) {
+    std::set<std::size_t> neigh;
+    cells.for_each_neighbor_of(i, cutoff, [&](std::size_t j, const Vec3&, double) {
+      neigh.insert(j);
+    });
+    std::set<std::size_t> expected;
+    for (std::size_t j = 0; j < pos.size(); ++j)
+      if (j != i && (pos[j] - pos[i]).norm2() < cutoff * cutoff)
+        expected.insert(j);
+    EXPECT_EQ(neigh, expected);
+  }
+}
+
+TEST(LinkedCells, GhostsOutsideRegionAreClamped) {
+  std::vector<Vec3> pos = {{-0.3, 1, 1}, {0.2, 1, 1}, {5.2, 1, 1}, {4.8, 1, 1}};
+  domain::LinkedCells cells({0, 0, 0}, {5, 5, 5}, 1.0, pos);
+  int pairs = 0;
+  cells.for_each_pair_within(1.0, [&](std::size_t, std::size_t, const Vec3&,
+                                      double) { ++pairs; });
+  EXPECT_EQ(pairs, 2);  // (0,1) across the lower face, (2,3) across the upper
+}
+
+}  // namespace

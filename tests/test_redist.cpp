@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "domain/cart_grid.hpp"
+#include "minimpi/cart.hpp"
+#include "redist/atasp.hpp"
+#include "redist/neighborhood.hpp"
+#include "redist/resort.hpp"
+#include "spmd_test_util.hpp"
+#include "support/rng.hpp"
+
+using fcs_test::run_ranks;
+using redist::ExchangeKind;
+
+namespace {
+
+struct Particle {
+  double x;
+  std::uint64_t origin;
+};
+
+class Redist : public ::testing::TestWithParam<
+                   std::tuple<int, ExchangeKind>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndKinds, Redist,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8, 13, 16),
+                       ::testing::Values(ExchangeKind::kDense,
+                                         ExchangeKind::kSparse)));
+
+TEST_P(Redist, FineGrainedMovesToComputedTarget) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    // Element value determines target: rank (int(x) % p).
+    fcs::Rng rng = fcs::Rng(21).stream(c.rank());
+    std::vector<Particle> items(100);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = {rng.uniform(0, 1000.0),
+                  redist::make_index(c.rank(), i)};
+    auto target_of = [p](const Particle& pt) {
+      return static_cast<int>(pt.x) % p;
+    };
+    std::vector<std::size_t> recv_counts;
+    auto received = redist::fine_grained_redistribute(
+        c, items,
+        [&](const Particle& pt, std::size_t, std::vector<int>& t) {
+          t.push_back(target_of(pt));
+        },
+        kind, &recv_counts);
+    for (const Particle& pt : received) EXPECT_EQ(target_of(pt), c.rank());
+    // Conservation.
+    const auto total_in =
+        c.allreduce(static_cast<std::uint64_t>(items.size()), mpi::OpSum{});
+    const auto total_out =
+        c.allreduce(static_cast<std::uint64_t>(received.size()), mpi::OpSum{});
+    EXPECT_EQ(total_in, total_out);
+    // recv_counts consistency.
+    std::size_t sum = 0;
+    for (std::size_t n : recv_counts) sum += n;
+    EXPECT_EQ(sum, received.size());
+  });
+}
+
+TEST_P(Redist, DuplicationCreatesGhosts) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    // Every element goes to its owner and, when p > 1, a ghost copy to the
+    // next rank.
+    std::vector<Particle> items(50);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = {static_cast<double>(c.rank()), redist::make_index(c.rank(), i)};
+    auto received = redist::fine_grained_redistribute(
+        c, items,
+        [&](const Particle& pt, std::size_t, std::vector<int>& t) {
+          const int owner = static_cast<int>(pt.x);
+          t.push_back(owner);
+          if (p > 1) t.push_back((owner + 1) % p);
+        },
+        kind);
+    const std::size_t expected = p > 1 ? 100u : 50u;  // own + ghosts from left
+    EXPECT_EQ(received.size(), expected);
+  });
+}
+
+TEST_P(Redist, RestoreToOriginIsIdentityAfterShuffle) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    fcs::Rng rng = fcs::Rng(22).stream(c.rank());
+    const std::size_t n = 40 + 10 * (c.rank() % 3);
+    std::vector<Particle> original(n);
+    for (std::size_t i = 0; i < n; ++i)
+      original[i] = {rng.uniform(0, 1.0), redist::make_index(c.rank(), i)};
+
+    // Scatter the particles pseudo-randomly (deterministic per value).
+    auto scattered = redist::fine_grained_redistribute(
+        c, original,
+        [&](const Particle& pt, std::size_t, std::vector<int>& t) {
+          t.push_back(static_cast<int>(pt.x * 7919) % p);
+        },
+        kind);
+
+    // Method A: restore to the origin order and distribution.
+    auto restored = redist::restore_to_origin(
+        c, scattered, [](const Particle& pt) { return pt.origin; }, n, kind);
+    ASSERT_EQ(restored.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(restored[i].origin, original[i].origin);
+      EXPECT_DOUBLE_EQ(restored[i].x, original[i].x);
+    }
+  });
+}
+
+TEST_P(Redist, InvertOriginIndicesPointsAtCurrentLocation) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    fcs::Rng rng = fcs::Rng(23).stream(c.rank());
+    const std::size_t n = 30;
+    std::vector<Particle> original(n);
+    for (std::size_t i = 0; i < n; ++i)
+      original[i] = {rng.uniform(0, 1.0), redist::make_index(c.rank(), i)};
+    auto scattered = redist::fine_grained_redistribute(
+        c, original,
+        [&](const Particle& pt, std::size_t, std::vector<int>& t) {
+          t.push_back(static_cast<int>(pt.x * 5077) % p);
+        },
+        kind);
+
+    std::vector<std::uint64_t> origin_of_current(scattered.size());
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      origin_of_current[i] = scattered[i].origin;
+    auto resort = redist::invert_origin_indices(c, origin_of_current, n, kind);
+    ASSERT_EQ(resort.size(), n);
+
+    // Verify: following resort[i] from the origin must land on a particle
+    // whose origin index names (rank, i). Check by a second redistribution
+    // of probe values.
+    struct Probe {
+      std::uint64_t expect_origin;
+      std::uint64_t target;
+    };
+    std::vector<Probe> probes(n);
+    for (std::size_t i = 0; i < n; ++i)
+      probes[i] = {redist::make_index(c.rank(), i), resort[i]};
+    auto delivered = redist::fine_grained_redistribute(
+        c, probes,
+        [](const Probe& pr, std::size_t, std::vector<int>& t) {
+          t.push_back(redist::index_rank(pr.target));
+        },
+        kind);
+    ASSERT_EQ(delivered.size(), scattered.size());
+    for (const Probe& pr : delivered) {
+      const std::uint32_t pos = redist::index_pos(pr.target);
+      ASSERT_LT(pos, scattered.size());
+      EXPECT_EQ(scattered[pos].origin, pr.expect_origin);
+    }
+  });
+}
+
+TEST_P(Redist, ResortValuesFollowsParticles) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    fcs::Rng rng = fcs::Rng(24).stream(c.rank());
+    const std::size_t n = 25;
+    std::vector<Particle> original(n);
+    for (std::size_t i = 0; i < n; ++i)
+      original[i] = {rng.uniform(0, 1.0), redist::make_index(c.rank(), i)};
+    auto scattered = redist::fine_grained_redistribute(
+        c, original,
+        [&](const Particle& pt, std::size_t, std::vector<int>& t) {
+          t.push_back(static_cast<int>(pt.x * 3571) % p);
+        },
+        kind);
+    std::vector<std::uint64_t> origin_of_current(scattered.size());
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      origin_of_current[i] = scattered[i].origin;
+    auto resort = redist::invert_origin_indices(c, origin_of_current, n, kind);
+
+    // Additional data: 3 components derived from the origin index.
+    std::vector<double> velocity(3 * n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < 3; ++k)
+        velocity[3 * i + k] =
+            static_cast<double>(original[i].origin) + 0.25 * static_cast<double>(k);
+
+    auto moved = redist::resort_values(c, resort, velocity, 3,
+                                       scattered.size(), kind);
+    ASSERT_EQ(moved.size(), 3 * scattered.size());
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      for (std::size_t k = 0; k < 3; ++k)
+        EXPECT_DOUBLE_EQ(moved[3 * i + k],
+                         static_cast<double>(scattered[i].origin) +
+                             0.25 * static_cast<double>(k));
+
+    // Integer payloads take the same path.
+    std::vector<std::int64_t> tags(n);
+    for (std::size_t i = 0; i < n; ++i)
+      tags[i] = static_cast<std::int64_t>(original[i].origin);
+    auto moved_tags =
+        redist::resort_values(c, resort, tags, 1, scattered.size(), kind);
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      EXPECT_EQ(moved_tags[i], static_cast<std::int64_t>(scattered[i].origin));
+  });
+}
+
+TEST(RedistErrors, ResortRejectsWrongDataSize) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [](mpi::Comm& c) {
+                  std::vector<std::uint64_t> resort = {redist::make_index(0, 0)};
+                  std::vector<double> data(5);  // not 3 * 1
+                  redist::resort_values(c, resort, data, 3, 1,
+                                        ExchangeKind::kDense);
+                }),
+      fcs::Error);
+}
+
+TEST(RedistErrors, DistributionToInvalidRankThrows) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [](mpi::Comm& c) {
+                  std::vector<int> items = {1};
+                  redist::fine_grained_redistribute(
+                      c, items,
+                      [](int, std::size_t, std::vector<int>& t) { t.push_back(99); },
+                      ExchangeKind::kDense);
+                }),
+      fcs::Error);
+}
+
+TEST(Neighborhood, ExchangesOnlyWithNeighbors) {
+  run_ranks(8, [](mpi::Comm& c) {
+    mpi::CartComm cart(c, {2, 2, 2}, {true, true, true});
+    const auto neighbors = cart.neighbors(1);  // all 7 others in a 2x2x2 torus
+    std::vector<std::size_t> send_counts(8, 0);
+    std::vector<int> payload;
+    // Send my rank, repeated (n+1) times, to each neighbor n-index.
+    for (std::size_t i = 0; i < neighbors.size(); ++i)
+      send_counts[static_cast<std::size_t>(neighbors[i])] = i + 1;
+    std::size_t total = 0;
+    for (auto n : send_counts) total += n;
+    payload.assign(total, c.rank());
+    std::vector<std::size_t> recv_counts;
+    auto got = redist::neighborhood_alltoallv(c, neighbors, payload.data(),
+                                              send_counts, recv_counts);
+    // Everything received must come from a neighbor and carry its rank.
+    std::size_t pos = 0;
+    for (int src = 0; src < 8; ++src) {
+      for (std::size_t k = 0; k < recv_counts[static_cast<std::size_t>(src)]; ++k)
+        EXPECT_EQ(got[pos++], src);
+    }
+    EXPECT_EQ(pos, got.size());
+  });
+}
+
+TEST(Neighborhood, RejectsDataForNonNeighbor) {
+  EXPECT_THROW(
+      run_ranks(4,
+                [](mpi::Comm& c) {
+                  std::vector<int> neighbors = {(c.rank() + 1) % 4};
+                  std::vector<std::size_t> counts(4, 0);
+                  counts[static_cast<std::size_t>((c.rank() + 2) % 4)] = 1;
+                  std::vector<int> data = {7};
+                  std::vector<std::size_t> rc;
+                  redist::neighborhood_alltoallv(c, neighbors, data.data(),
+                                                 counts, rc);
+                }),
+      fcs::Error);
+}
+
+TEST(Neighborhood, SelfDataPassesThrough) {
+  run_ranks(2, [](mpi::Comm& c) {
+    std::vector<int> neighbors = {1 - c.rank()};
+    std::vector<std::size_t> counts(2, 0);
+    counts[static_cast<std::size_t>(c.rank())] = 2;  // keep two locally
+    std::vector<int> data = {10 + c.rank(), 20 + c.rank()};
+    std::vector<std::size_t> rc;
+    auto got = redist::neighborhood_alltoallv(c, neighbors, data.data(),
+                                              counts, rc);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], 10 + c.rank());
+    EXPECT_EQ(got[1], 20 + c.rank());
+  });
+}
+
+TEST(RedistTiming, SparseBeatsDenseForNeighborOnlyTrafficOnTorus) {
+  // The Fig. 9 mechanism: on a torus, when traffic is neighbor-only, the
+  // sparse point-to-point exchange must be cheaper than the dense
+  // all-to-all, and the gap must widen with the rank count.
+  auto time_with = [](int p, ExchangeKind kind) {
+    auto net = std::make_shared<sim::TorusNetwork>(
+        sim::TorusNetwork::balanced_dims(p, 3));
+    return run_ranks(p, [p, kind](mpi::Comm& c) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p), 0);
+      counts[static_cast<std::size_t>((c.rank() + 1) % p)] = 64;
+      std::vector<double> data(64, 1.0);
+      for (int rep = 0; rep < 3; ++rep) {
+        std::vector<std::size_t> rc;
+        if (kind == ExchangeKind::kDense) {
+          (void)c.alltoallv(data.data(), counts, rc);
+        } else {
+          (void)c.sparse_alltoallv(data.data(), counts, rc);
+        }
+      }
+    }, net);
+  };
+  const double dense64 = time_with(64, ExchangeKind::kDense);
+  const double sparse64 = time_with(64, ExchangeKind::kSparse);
+  EXPECT_LT(sparse64, dense64);
+  const double dense512 = time_with(512, ExchangeKind::kDense);
+  const double sparse512 = time_with(512, ExchangeKind::kSparse);
+  EXPECT_LT(sparse512, dense512);
+  EXPECT_GT(dense512 / sparse512, dense64 / sparse64);
+}
+
+}  // namespace

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "sortlib/local_sort.hpp"
+#include "sortlib/merge_sort.hpp"
+#include "sortlib/partition_sort.hpp"
+#include "spmd_test_util.hpp"
+#include "support/rng.hpp"
+
+using fcs_test::run_ranks;
+
+namespace {
+
+struct Rec {
+  std::uint64_t key;
+  std::uint64_t payload;
+};
+std::uint64_t rec_key(const Rec& r) { return r.key; }
+
+// ---------------------------------------------------------------------------
+// Local sorting
+
+TEST(RadixPermutation, SortsRandomKeys) {
+  fcs::Rng rng(1);
+  std::vector<std::uint64_t> keys(10000);
+  for (auto& k : keys) k = rng();
+  auto order = sortlib::radix_sort_permutation(keys);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(keys[order[i - 1]], keys[order[i]]);
+}
+
+TEST(RadixPermutation, StableForDuplicates) {
+  std::vector<std::uint64_t> keys = {5, 1, 5, 1, 5};
+  auto order = sortlib::radix_sort_permutation(keys);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 0, 2, 4}));
+}
+
+TEST(RadixPermutation, SmallKeyRangeSkipsPasses) {
+  // Keys below 256: only one digit used; result must still be sorted.
+  fcs::Rng rng(2);
+  std::vector<std::uint64_t> keys(5000);
+  for (auto& k : keys) k = rng() & 0xff;
+  auto order = sortlib::radix_sort_permutation(keys);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(keys[order[i - 1]], keys[order[i]]);
+}
+
+TEST(RadixPermutation, EmptyAndSingle) {
+  EXPECT_TRUE(sortlib::radix_sort_permutation({}).empty());
+  EXPECT_EQ(sortlib::radix_sort_permutation({42}),
+            (std::vector<std::uint32_t>{0}));
+}
+
+TEST(SortByKey, MatchesStdSortOnBothPaths) {
+  fcs::Rng rng(3);
+  for (std::size_t n : {0u, 1u, 100u, 5000u}) {  // below and above radix cutoff
+    std::vector<Rec> items(n);
+    for (std::size_t i = 0; i < n; ++i) items[i] = {rng() % 97, i};
+    sortlib::sort_by_key(items, rec_key);
+    EXPECT_TRUE(sortlib::is_sorted_by_key(items, rec_key));
+    // Stability: payloads ascending within equal keys.
+    for (std::size_t i = 1; i < n; ++i) {
+      if (items[i - 1].key == items[i].key) {
+        EXPECT_LT(items[i - 1].payload, items[i].payload);
+      }
+    }
+  }
+}
+
+TEST(MergeRuns, MergesSortedRunsInPlace) {
+  std::vector<Rec> items;
+  std::vector<std::size_t> starts;
+  fcs::Rng rng(4);
+  for (int run = 0; run < 5; ++run) {
+    starts.push_back(items.size());
+    std::vector<std::uint64_t> keys(1 + rng.uniform_index(50));
+    for (auto& k : keys) k = rng() % 1000;
+    std::sort(keys.begin(), keys.end());
+    for (auto k : keys) items.push_back({k, 0});
+  }
+  sortlib::merge_runs(items, starts, rec_key);
+  EXPECT_TRUE(sortlib::is_sorted_by_key(items, rec_key));
+}
+
+TEST(MergeRuns, SingleAndEmptyRuns) {
+  std::vector<Rec> empty;
+  sortlib::merge_runs(empty, {0}, rec_key);
+  EXPECT_TRUE(empty.empty());
+  std::vector<Rec> one = {{3, 0}, {5, 0}};
+  sortlib::merge_runs(one, {0}, rec_key);
+  EXPECT_EQ(one[0].key, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher schedule
+
+TEST(BatcherSchedule, SortsAllZeroOnePatterns) {
+  // 0-1 principle: a comparator network sorts everything iff it sorts all
+  // 2^n 0-1 sequences. Verify exhaustively for small n.
+  for (int n = 1; n <= 10; ++n) {
+    const auto schedule = sortlib::batcher_schedule(n);
+    for (unsigned pattern = 0; pattern < (1u << n); ++pattern) {
+      std::vector<int> v(n);
+      for (int i = 0; i < n; ++i) v[i] = (pattern >> i) & 1;
+      for (const auto& [a, b] : schedule)
+        if (v[a] > v[b]) std::swap(v[a], v[b]);
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()))
+          << "n=" << n << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(BatcherSchedule, ComparatorCountIsLogSquared) {
+  const auto s = sortlib::batcher_schedule(256);
+  // Merge exchange uses ~ n/4 log^2 n comparators; sanity bounds.
+  EXPECT_GT(s.size(), 1000u);
+  EXPECT_LT(s.size(), 10000u);
+  EXPECT_TRUE(sortlib::batcher_schedule(1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sorts
+
+struct SortCase {
+  int ranks;
+  int elements_per_rank;  // average; actual counts vary per test
+};
+
+class ParallelSort : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelSort,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+std::vector<Rec> random_records(int rank, std::size_t n, std::uint64_t key_mod,
+                                std::uint64_t seed) {
+  fcs::Rng rng = fcs::Rng(seed).stream(static_cast<std::uint64_t>(rank));
+  std::vector<Rec> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i].key = rng() % key_mod;
+    items[i].payload = (static_cast<std::uint64_t>(rank) << 32) | i;
+  }
+  return items;
+}
+
+// Verify a global sort result: locally sorted, boundaries ordered, and the
+// global multiset of (key, payload) pairs unchanged.
+void expect_globally_sorted(mpi::Comm& c, const std::vector<Rec>& before,
+                            const std::vector<Rec>& after,
+                            bool check_balanced) {
+  EXPECT_TRUE(sortlib::is_sorted_by_key(after, rec_key));
+
+  // Boundary order between ranks.
+  struct KeyCount {
+    std::uint64_t any, max;
+  };
+  KeyCount mine{after.empty() ? 0ull : 1ull,
+                after.empty() ? 0ull : after.back().key};
+  KeyCount prev = c.exscan(mine, [](const KeyCount& a, const KeyCount& b) {
+    return KeyCount{a.any | b.any, b.any ? b.max : a.max};
+  });
+  if (prev.any && !after.empty()) {
+    EXPECT_GE(after.front().key, prev.max);
+  }
+
+  // Multiset preservation via order-independent checksums.
+  auto checksum = [](const std::vector<Rec>& v) {
+    std::uint64_t x = 0, s = 0;
+    for (const Rec& r : v) {
+      std::uint64_t h = r.key * 0x9e3779b97f4a7c15ULL ^ r.payload;
+      h ^= h >> 29;
+      x ^= h;
+      s += h;
+    }
+    return std::pair<std::uint64_t, std::uint64_t>{x, s};
+  };
+  auto [bx, bs] = checksum(before);
+  auto [ax, as] = checksum(after);
+  EXPECT_EQ(c.allreduce(bx, [](auto a, auto b) { return a ^ b; }),
+            c.allreduce(ax, [](auto a, auto b) { return a ^ b; }));
+  EXPECT_EQ(c.allreduce(bs, mpi::OpSum{}), c.allreduce(as, mpi::OpSum{}));
+
+  const auto n_before =
+      c.allreduce(static_cast<std::uint64_t>(before.size()), mpi::OpSum{});
+  const auto n_after =
+      c.allreduce(static_cast<std::uint64_t>(after.size()), mpi::OpSum{});
+  EXPECT_EQ(n_before, n_after);
+  if (check_balanced) {
+    const std::uint64_t lo = n_before / c.size();
+    EXPECT_GE(after.size(), lo);
+    EXPECT_LE(after.size(), lo + 1);
+  }
+}
+
+TEST_P(ParallelSort, PartitionSortRandomInput) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    auto items = random_records(c.rank(), 200 + 17 * c.rank(), 1000, 11);
+    const auto before = items;
+    sortlib::parallel_sort_partition(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/true);
+  });
+}
+
+TEST_P(ParallelSort, PartitionSortManyDuplicates) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Only 3 distinct keys: exact splitting must still balance perfectly.
+    auto items = random_records(c.rank(), 150, 3, 12);
+    const auto before = items;
+    sortlib::parallel_sort_partition(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/true);
+  });
+}
+
+TEST_P(ParallelSort, PartitionSortAllOnOneRank) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    std::vector<Rec> items;
+    if (c.rank() == 0) items = random_records(0, 512, 1u << 20, 13);
+    const auto before = items;
+    sortlib::parallel_sort_partition(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/true);
+  });
+}
+
+TEST_P(ParallelSort, PartitionSortEmptyGlobal) {
+  const int p = GetParam();
+  run_ranks(p, [](mpi::Comm& c) {
+    std::vector<Rec> items;
+    sortlib::parallel_sort_partition(c, items, rec_key);
+    EXPECT_TRUE(items.empty());
+  });
+}
+
+TEST_P(ParallelSort, PartitionSortCustomTargets) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    auto items = random_records(c.rank(), 100, 1u << 30, 14);
+    const auto before = items;
+    // All elements to the last rank.
+    std::vector<std::uint64_t> targets(p, 0);
+    targets[p - 1] = c.allreduce(static_cast<std::uint64_t>(items.size()),
+                                 mpi::OpSum{});
+    sortlib::parallel_sort_partition(c, items, rec_key, &targets);
+    if (c.rank() == p - 1)
+      EXPECT_EQ(items.size(), static_cast<std::size_t>(targets[p - 1]));
+    else
+      EXPECT_TRUE(items.empty());
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+  });
+}
+
+TEST_P(ParallelSort, MergeSortRandomInputKeepsCounts) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    auto items = random_records(c.rank(), 120 + 31 * (c.rank() % 3), 5000, 15);
+    const auto before = items;
+    sortlib::parallel_sort_merge(c, items, rec_key);
+    EXPECT_EQ(items.size(), before.size());  // counts preserved
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+  });
+}
+
+TEST_P(ParallelSort, MergeSortAlmostSortedDoesFewExchanges) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Globally sorted input with a small local perturbation: key block per
+    // rank, shuffled within the rank only.
+    fcs::Rng rng = fcs::Rng(16).stream(c.rank());
+    std::vector<Rec> items(300);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      items[i].key = static_cast<std::uint64_t>(c.rank()) * 1000 +
+                     rng.uniform_index(1000);
+      items[i].payload = i;
+    }
+    const auto before = items;
+    auto stats = sortlib::parallel_sort_merge(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+    // Already-partitioned data: the probe must avoid every bulk exchange.
+    EXPECT_EQ(stats.exchanges, 0u);
+    EXPECT_EQ(stats.fallback_rounds, 0u);
+  });
+}
+
+TEST_P(ParallelSort, MergeSortUnequalCounts) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Strongly unequal counts, including empty ranks.
+    const std::size_t n = (c.rank() % 3 == 0) ? 0 : 100 * (c.rank() % 4);
+    auto items = random_records(c.rank(), n, 1u << 16, 17);
+    const auto before = items;
+    sortlib::parallel_sort_merge(c, items, rec_key);
+    EXPECT_EQ(items.size(), before.size());
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+  });
+}
+
+TEST_P(ParallelSort, MergeSortReverseSortedWorstCase) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Rank r holds key block (p-1-r): maximal disorder across ranks.
+    std::vector<Rec> items(64);
+    fcs::Rng rng = fcs::Rng(18).stream(c.rank());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      items[i].key =
+          static_cast<std::uint64_t>(p - 1 - c.rank()) * 1000 + rng.uniform_index(1000);
+      items[i].payload = i;
+    }
+    const auto before = items;
+    sortlib::parallel_sort_merge(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+  });
+}
+
+TEST(ParallelSortTiming, MergeBeatsPartitionOnAlmostSorted) {
+  // The paper's motivation for switching sort methods: on almost-sorted
+  // data, merge-exchange (point-to-point + early exit) must be cheaper in
+  // virtual time than a full partition sort.
+  auto net = std::make_shared<sim::SwitchedNetwork>();
+  const int p = 16;
+  auto make_sorted_items = [](int rank) {
+    fcs::Rng rng = fcs::Rng(19).stream(rank);
+    std::vector<Rec> items(500);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = {static_cast<std::uint64_t>(rank) * 100000 + rng.uniform_index(100000),
+                  i};
+    return items;
+  };
+  const double t_merge = run_ranks(p, [&](mpi::Comm& c) {
+    auto items = make_sorted_items(c.rank());
+    sortlib::parallel_sort_merge(c, items, rec_key);
+  }, net);
+  const double t_partition = run_ranks(p, [&](mpi::Comm& c) {
+    auto items = make_sorted_items(c.rank());
+    sortlib::parallel_sort_partition(c, items, rec_key);
+  }, net);
+  EXPECT_LT(t_merge, t_partition);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    FCS_CHECK(1 == 2, "expected " << 1 << " to equal " << 2);
+    FAIL() << "FCS_CHECK did not throw";
+  } catch (const fcs::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 1 to equal 2"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrows) { EXPECT_THROW(FCS_ASSERT(false), fcs::Error); }
+
+TEST(Error, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(FCS_CHECK(true, "unused"));
+  EXPECT_NO_THROW(FCS_ASSERT(1 + 1 == 2));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  fcs::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  fcs::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  fcs::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  fcs::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  fcs::Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, StreamsAreIndependentAndDeterministic) {
+  fcs::Rng base(123);
+  fcs::Rng s0 = base.stream(0);
+  fcs::Rng s1 = base.stream(1);
+  fcs::Rng s0_again = fcs::Rng(123).stream(0);
+  EXPECT_NE(s0(), s1());
+  fcs::Rng s0_ref = fcs::Rng(123).stream(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s0_again(), s0_ref());
+}
+
+TEST(Table, AlignsColumns) {
+  fcs::Table t({"step", "runtime"});
+  t.begin_row().col(1LL).col(0.5);
+  t.begin_row().col(100LL).col(12.25);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("step"), std::string::npos);
+  EXPECT_NE(out.find("12.25"), std::string::npos);
+  // Three lines: header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, ColWithoutRowThrows) {
+  fcs::Table t({"a"});
+  EXPECT_THROW(t.col("x"), fcs::Error);
+}
+
+}  // namespace
