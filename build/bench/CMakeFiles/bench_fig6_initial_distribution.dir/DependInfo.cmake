@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_initial_distribution.cpp" "bench/CMakeFiles/bench_fig6_initial_distribution.dir/bench_fig6_initial_distribution.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_initial_distribution.dir/bench_fig6_initial_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

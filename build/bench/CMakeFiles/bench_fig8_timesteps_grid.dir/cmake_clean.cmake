@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_timesteps_grid.dir/bench_fig8_timesteps_grid.cpp.o"
+  "CMakeFiles/bench_fig8_timesteps_grid.dir/bench_fig8_timesteps_grid.cpp.o.d"
+  "bench_fig8_timesteps_grid"
+  "bench_fig8_timesteps_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_timesteps_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_ionic_crystal.dir/md_ionic_crystal.cpp.o"
+  "CMakeFiles/md_ionic_crystal.dir/md_ionic_crystal.cpp.o.d"
+  "md_ionic_crystal"
+  "md_ionic_crystal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_ionic_crystal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

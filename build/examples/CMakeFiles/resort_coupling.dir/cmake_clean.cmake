@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resort_coupling.dir/resort_coupling.cpp.o"
+  "CMakeFiles/resort_coupling.dir/resort_coupling.cpp.o.d"
+  "resort_coupling"
+  "resort_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resort_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

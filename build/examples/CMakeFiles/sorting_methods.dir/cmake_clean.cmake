@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_methods.dir/sorting_methods.cpp.o"
+  "CMakeFiles/sorting_methods.dir/sorting_methods.cpp.o.d"
+  "sorting_methods"
+  "sorting_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

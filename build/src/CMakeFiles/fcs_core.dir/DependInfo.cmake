@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fcs/fcs.cpp" "src/CMakeFiles/fcs_core.dir/fcs/fcs.cpp.o" "gcc" "src/CMakeFiles/fcs_core.dir/fcs/fcs.cpp.o.d"
+  "/root/repo/src/fcs/fcs_c.cpp" "src/CMakeFiles/fcs_core.dir/fcs/fcs_c.cpp.o" "gcc" "src/CMakeFiles/fcs_core.dir/fcs/fcs_c.cpp.o.d"
+  "/root/repo/src/fcs/solver_registry.cpp" "src/CMakeFiles/fcs_core.dir/fcs/solver_registry.cpp.o" "gcc" "src/CMakeFiles/fcs_core.dir/fcs/solver_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

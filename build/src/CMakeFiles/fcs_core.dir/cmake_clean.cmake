@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_core.dir/fcs/fcs.cpp.o"
+  "CMakeFiles/fcs_core.dir/fcs/fcs.cpp.o.d"
+  "CMakeFiles/fcs_core.dir/fcs/fcs_c.cpp.o"
+  "CMakeFiles/fcs_core.dir/fcs/fcs_c.cpp.o.d"
+  "CMakeFiles/fcs_core.dir/fcs/solver_registry.cpp.o"
+  "CMakeFiles/fcs_core.dir/fcs/solver_registry.cpp.o.d"
+  "libfcs_core.a"
+  "libfcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

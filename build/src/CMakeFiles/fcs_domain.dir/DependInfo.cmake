@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domain/box.cpp" "src/CMakeFiles/fcs_domain.dir/domain/box.cpp.o" "gcc" "src/CMakeFiles/fcs_domain.dir/domain/box.cpp.o.d"
+  "/root/repo/src/domain/cart_grid.cpp" "src/CMakeFiles/fcs_domain.dir/domain/cart_grid.cpp.o" "gcc" "src/CMakeFiles/fcs_domain.dir/domain/cart_grid.cpp.o.d"
+  "/root/repo/src/domain/linked_cells.cpp" "src/CMakeFiles/fcs_domain.dir/domain/linked_cells.cpp.o" "gcc" "src/CMakeFiles/fcs_domain.dir/domain/linked_cells.cpp.o.d"
+  "/root/repo/src/domain/morton.cpp" "src/CMakeFiles/fcs_domain.dir/domain/morton.cpp.o" "gcc" "src/CMakeFiles/fcs_domain.dir/domain/morton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

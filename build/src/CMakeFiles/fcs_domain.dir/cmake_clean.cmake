@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_domain.dir/domain/box.cpp.o"
+  "CMakeFiles/fcs_domain.dir/domain/box.cpp.o.d"
+  "CMakeFiles/fcs_domain.dir/domain/cart_grid.cpp.o"
+  "CMakeFiles/fcs_domain.dir/domain/cart_grid.cpp.o.d"
+  "CMakeFiles/fcs_domain.dir/domain/linked_cells.cpp.o"
+  "CMakeFiles/fcs_domain.dir/domain/linked_cells.cpp.o.d"
+  "CMakeFiles/fcs_domain.dir/domain/morton.cpp.o"
+  "CMakeFiles/fcs_domain.dir/domain/morton.cpp.o.d"
+  "libfcs_domain.a"
+  "libfcs_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmm/fmm_solver.cpp" "src/CMakeFiles/fcs_fmm.dir/fmm/fmm_solver.cpp.o" "gcc" "src/CMakeFiles/fcs_fmm.dir/fmm/fmm_solver.cpp.o.d"
+  "/root/repo/src/fmm/harmonics.cpp" "src/CMakeFiles/fcs_fmm.dir/fmm/harmonics.cpp.o" "gcc" "src/CMakeFiles/fcs_fmm.dir/fmm/harmonics.cpp.o.d"
+  "/root/repo/src/fmm/multipole.cpp" "src/CMakeFiles/fcs_fmm.dir/fmm/multipole.cpp.o" "gcc" "src/CMakeFiles/fcs_fmm.dir/fmm/multipole.cpp.o.d"
+  "/root/repo/src/fmm/octree.cpp" "src/CMakeFiles/fcs_fmm.dir/fmm/octree.cpp.o" "gcc" "src/CMakeFiles/fcs_fmm.dir/fmm/octree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_fmm.dir/fmm/fmm_solver.cpp.o"
+  "CMakeFiles/fcs_fmm.dir/fmm/fmm_solver.cpp.o.d"
+  "CMakeFiles/fcs_fmm.dir/fmm/harmonics.cpp.o"
+  "CMakeFiles/fcs_fmm.dir/fmm/harmonics.cpp.o.d"
+  "CMakeFiles/fcs_fmm.dir/fmm/multipole.cpp.o"
+  "CMakeFiles/fcs_fmm.dir/fmm/multipole.cpp.o.d"
+  "CMakeFiles/fcs_fmm.dir/fmm/octree.cpp.o"
+  "CMakeFiles/fcs_fmm.dir/fmm/octree.cpp.o.d"
+  "libfcs_fmm.a"
+  "libfcs_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

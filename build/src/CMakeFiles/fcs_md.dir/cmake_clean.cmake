@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_md.dir/md/integrator.cpp.o"
+  "CMakeFiles/fcs_md.dir/md/integrator.cpp.o.d"
+  "CMakeFiles/fcs_md.dir/md/simulation.cpp.o"
+  "CMakeFiles/fcs_md.dir/md/simulation.cpp.o.d"
+  "CMakeFiles/fcs_md.dir/md/system.cpp.o"
+  "CMakeFiles/fcs_md.dir/md/system.cpp.o.d"
+  "libfcs_md.a"
+  "libfcs_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/cart.cpp" "src/CMakeFiles/fcs_minimpi.dir/minimpi/cart.cpp.o" "gcc" "src/CMakeFiles/fcs_minimpi.dir/minimpi/cart.cpp.o.d"
+  "/root/repo/src/minimpi/collectives.cpp" "src/CMakeFiles/fcs_minimpi.dir/minimpi/collectives.cpp.o" "gcc" "src/CMakeFiles/fcs_minimpi.dir/minimpi/collectives.cpp.o.d"
+  "/root/repo/src/minimpi/comm.cpp" "src/CMakeFiles/fcs_minimpi.dir/minimpi/comm.cpp.o" "gcc" "src/CMakeFiles/fcs_minimpi.dir/minimpi/comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_minimpi.dir/minimpi/cart.cpp.o"
+  "CMakeFiles/fcs_minimpi.dir/minimpi/cart.cpp.o.d"
+  "CMakeFiles/fcs_minimpi.dir/minimpi/collectives.cpp.o"
+  "CMakeFiles/fcs_minimpi.dir/minimpi/collectives.cpp.o.d"
+  "CMakeFiles/fcs_minimpi.dir/minimpi/comm.cpp.o"
+  "CMakeFiles/fcs_minimpi.dir/minimpi/comm.cpp.o.d"
+  "libfcs_minimpi.a"
+  "libfcs_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/charge_grid.cpp" "src/CMakeFiles/fcs_pm.dir/pm/charge_grid.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/charge_grid.cpp.o.d"
+  "/root/repo/src/pm/direct.cpp" "src/CMakeFiles/fcs_pm.dir/pm/direct.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/direct.cpp.o.d"
+  "/root/repo/src/pm/dist_fft.cpp" "src/CMakeFiles/fcs_pm.dir/pm/dist_fft.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/dist_fft.cpp.o.d"
+  "/root/repo/src/pm/ewald.cpp" "src/CMakeFiles/fcs_pm.dir/pm/ewald.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/ewald.cpp.o.d"
+  "/root/repo/src/pm/fft.cpp" "src/CMakeFiles/fcs_pm.dir/pm/fft.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/fft.cpp.o.d"
+  "/root/repo/src/pm/pm_solver.cpp" "src/CMakeFiles/fcs_pm.dir/pm/pm_solver.cpp.o" "gcc" "src/CMakeFiles/fcs_pm.dir/pm/pm_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

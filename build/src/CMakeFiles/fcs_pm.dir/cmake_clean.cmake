@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_pm.dir/pm/charge_grid.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/charge_grid.cpp.o.d"
+  "CMakeFiles/fcs_pm.dir/pm/direct.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/direct.cpp.o.d"
+  "CMakeFiles/fcs_pm.dir/pm/dist_fft.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/dist_fft.cpp.o.d"
+  "CMakeFiles/fcs_pm.dir/pm/ewald.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/ewald.cpp.o.d"
+  "CMakeFiles/fcs_pm.dir/pm/fft.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/fft.cpp.o.d"
+  "CMakeFiles/fcs_pm.dir/pm/pm_solver.cpp.o"
+  "CMakeFiles/fcs_pm.dir/pm/pm_solver.cpp.o.d"
+  "libfcs_pm.a"
+  "libfcs_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_redist.dir/redist/atasp.cpp.o"
+  "CMakeFiles/fcs_redist.dir/redist/atasp.cpp.o.d"
+  "CMakeFiles/fcs_redist.dir/redist/neighborhood.cpp.o"
+  "CMakeFiles/fcs_redist.dir/redist/neighborhood.cpp.o.d"
+  "CMakeFiles/fcs_redist.dir/redist/resort.cpp.o"
+  "CMakeFiles/fcs_redist.dir/redist/resort.cpp.o.d"
+  "libfcs_redist.a"
+  "libfcs_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/fcs_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/fcs_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/fcs_sim.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/fcs_sim.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/mailbox.cpp" "src/CMakeFiles/fcs_sim.dir/sim/mailbox.cpp.o" "gcc" "src/CMakeFiles/fcs_sim.dir/sim/mailbox.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/fcs_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/fcs_sim.dir/sim/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/fcs_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/fcs_sim.dir/sim/fiber.cpp.o"
+  "CMakeFiles/fcs_sim.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/fcs_sim.dir/sim/mailbox.cpp.o"
+  "CMakeFiles/fcs_sim.dir/sim/mailbox.cpp.o.d"
+  "CMakeFiles/fcs_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/fcs_sim.dir/sim/network.cpp.o.d"
+  "libfcs_sim.a"
+  "libfcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

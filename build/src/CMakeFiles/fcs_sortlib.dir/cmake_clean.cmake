@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_sortlib.dir/sortlib/local_sort.cpp.o"
+  "CMakeFiles/fcs_sortlib.dir/sortlib/local_sort.cpp.o.d"
+  "CMakeFiles/fcs_sortlib.dir/sortlib/merge_sort.cpp.o"
+  "CMakeFiles/fcs_sortlib.dir/sortlib/merge_sort.cpp.o.d"
+  "CMakeFiles/fcs_sortlib.dir/sortlib/partition_sort.cpp.o"
+  "CMakeFiles/fcs_sortlib.dir/sortlib/partition_sort.cpp.o.d"
+  "libfcs_sortlib.a"
+  "libfcs_sortlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_sortlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

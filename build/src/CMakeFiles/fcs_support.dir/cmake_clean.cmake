@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_support.dir/support/error.cpp.o"
+  "CMakeFiles/fcs_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/fcs_support.dir/support/rng.cpp.o"
+  "CMakeFiles/fcs_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/fcs_support.dir/support/table.cpp.o"
+  "CMakeFiles/fcs_support.dir/support/table.cpp.o.d"
+  "libfcs_support.a"
+  "libfcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcs.dir/test_fcs.cpp.o"
+  "CMakeFiles/test_fcs.dir/test_fcs.cpp.o.d"
+  "test_fcs"
+  "test_fcs.pdb"
+  "test_fcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcs_c.dir/test_fcs_c.cpp.o"
+  "CMakeFiles/test_fcs_c.dir/test_fcs_c.cpp.o.d"
+  "test_fcs_c"
+  "test_fcs_c.pdb"
+  "test_fcs_c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcs_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sortlib.dir/test_sortlib.cpp.o"
+  "CMakeFiles/test_sortlib.dir/test_sortlib.cpp.o.d"
+  "test_sortlib"
+  "test_sortlib.pdb"
+  "test_sortlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sortlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

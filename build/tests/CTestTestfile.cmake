@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_sortlib[1]_include.cmake")
+include("/root/repo/build/tests/test_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_redist[1]_include.cmake")
+include("/root/repo/build/tests/test_pm[1]_include.cmake")
+include("/root/repo/build/tests/test_fmm[1]_include.cmake")
+include("/root/repo/build/tests/test_fcs[1]_include.cmake")
+include("/root/repo/build/tests/test_md[1]_include.cmake")
+include("/root/repo/build/tests/test_fcs_c[1]_include.cmake")
