@@ -11,6 +11,15 @@
 //   FIG8_STEPS - time steps for Fig. 8 (default 150; paper: 1000)
 //   FIG9_STEPS - time steps per Fig. 9 configuration (default 10)
 //   FIG9_MAXP  - largest PM rank count in Fig. 9 (default 4096; paper 16384)
+//
+// Observability (see src/obs/): every configuration run through
+// run_configuration() can record spans and communication metrics. Both
+// outputs are deterministic - byte-identical across repeated runs:
+//
+//   FIG_TRACE   - write a Chrome trace-event JSON (chrome://tracing,
+//                 Perfetto) with one process per run, one track per rank
+//   FIG_METRICS - write a metrics JSON with cross-rank min/mean/max/sum of
+//                 every counter (totals and per-time-step) + histograms
 #pragma once
 
 #include <cstdlib>
@@ -21,8 +30,8 @@
 #include "fcs/fcs.hpp"
 #include "md/simulation.hpp"
 #include "minimpi/cart.hpp"
+#include "obs/export.hpp"
 #include "pm/pm_solver.hpp"
-#include "md/simulation.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
 
@@ -75,15 +84,30 @@ struct SimOutcome {
   double makespan = 0.0;
 };
 
-/// Run one full simulation configuration on a fresh engine.
+/// Process-wide trace/metrics sink, configured from FIG_TRACE / FIG_METRICS.
+/// Files are written when the static session is destroyed at process exit.
+inline obs::ExportSession& obs_session() {
+  static obs::ExportSession session;
+  return session;
+}
+
+/// Run one full simulation configuration on a fresh engine. When FIG_TRACE /
+/// FIG_METRICS are set, the run is recorded under `label` (default: solver
+/// name + coupling method, e.g. "fmm-B-move").
 inline SimOutcome run_configuration(
     int nranks, std::shared_ptr<const sim::NetworkModel> net,
     const md::SystemConfig& sys, const std::string& solver,
-    const md::SimulationConfig& sim_cfg, std::size_t stack_kb = 256) {
+    const md::SimulationConfig& sim_cfg, std::size_t stack_kb = 256,
+    std::string label = {}) {
+  if (label.empty()) {
+    label = solver + (sim_cfg.resort ? "-B" : "-A");
+    if (sim_cfg.exploit_max_movement) label += "-move";
+  }
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
   cfg.network = std::move(net);
   cfg.stack_bytes = stack_kb * 1024;
+  cfg.recorder = obs_session().begin_run(label);
   sim::Engine engine(cfg);
   SimOutcome outcome;
   engine.run([&](sim::RankCtx& ctx) {
@@ -96,6 +120,7 @@ inline SimOutcome run_configuration(
     if (comm.rank() == 0) outcome.result = std::move(res);
   });
   outcome.makespan = engine.makespan();
+  obs_session().end_run(outcome.makespan);
   return outcome;
 }
 

@@ -6,6 +6,13 @@
 // the steps (the random distribution is restored every time); method B's
 // sort + resort cost drops by 1-2 orders of magnitude after the first step;
 // the total drops to ~45 % (FMM) / ~20 % (PM) of method A.
+//
+// A third series "Bm" runs method B with the max-movement information
+// (paper Sect. III-B): after the first step the solver input stays in solver
+// order and the small surrogate movement lets the solvers switch to
+// merge-based sorting / neighborhood communication, replacing the dense
+// all-to-all. With FIG_METRICS set, the per-step alltoall byte counters of
+// the A/B runs versus the Bm run show the dense -> sparse switch directly.
 #include "bench_common.hpp"
 
 int main() {
@@ -19,26 +26,30 @@ int main() {
 
   for (const char* solver : {"fmm", "pm"}) {
     fcs::Table table({"step", "A_sort", "A_restore", "A_total", "B_sort",
-                      "B_resort", "B_total"});
-    md::SimulationResult res_a, res_b;
-    for (int variant = 0; variant < 2; ++variant) {
+                      "B_resort", "B_total", "Bm_sort", "Bm_total"});
+    md::SimulationResult res_a, res_b, res_bm;
+    for (int variant = 0; variant < 3; ++variant) {
       const md::SystemConfig sys =
           bench::paper_system(n, md::InitialDistribution::kRandom);
       md::SimulationConfig cfg;
       cfg.box = sys.box;
       cfg.steps = steps;
-      cfg.resort = variant == 1;
-      cfg.exploit_max_movement = false;  // Fig. 7 does not use max movement
+      cfg.resort = variant >= 1;
+      // The paper's Fig. 7 series use no movement information; the extra Bm
+      // series exploits it.
+      cfg.exploit_max_movement = variant == 2;
       cfg.modeled_compute = true;
       cfg.surrogate_motion = true;
       cfg.surrogate_step = 0.1;  // slight movement, like early time steps
       bench::SimOutcome out = bench::run_configuration(
           nranks, bench::juropa_like(), sys, solver, cfg);
-      (variant == 0 ? res_a : res_b) = std::move(out.result);
+      (variant == 0 ? res_a : variant == 1 ? res_b : res_bm) =
+          std::move(out.result);
     }
     for (int s = 0; s <= steps; ++s) {
       const auto& a = res_a.step_times.at(static_cast<std::size_t>(s));
       const auto& b = res_b.step_times.at(static_cast<std::size_t>(s));
+      const auto& bm = res_bm.step_times.at(static_cast<std::size_t>(s));
       table.begin_row()
           .col(s == 0 ? std::string("init") : std::to_string(s))
           .col(a.sort, 4)
@@ -46,7 +57,9 @@ int main() {
           .col(a.total, 4)
           .col(b.sort, 4)
           .col(b.resort, 4)
-          .col(b.total, 4);
+          .col(b.total, 4)
+          .col(bm.sort, 4)
+          .col(bm.total, 4);
     }
     std::printf("\n%s solver:\n", solver);
     std::ostringstream oss;

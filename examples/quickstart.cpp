@@ -46,9 +46,6 @@ int main() {
     const double e_pm = 0.5 * comm.allreduce(e_local, mpi::OpSum{});
 
     if (comm.rank() == 0) {
-      // Serial reference for comparison (rank 0 regenerates the full system).
-      md::SystemConfig serial = sys;
-      serial.distribution = md::InitialDistribution::kSingleProcess;
       std::printf("pm solver on %d ranks\n", comm.size());
       std::printf("  particles (local on rank 0): %zu\n", particles.size());
       std::printf("  total Coulomb energy: %.6f\n", e_pm);

@@ -26,6 +26,8 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   FCS_CHECK(positions.size() == charges.size(),
             "positions/charges size mismatch");
   sim::RankCtx& ctx = comm_.ctx();
+  obs::Span run_span(ctx, "fcs.run");
+  obs::count(ctx.obs(), "fcs.run.calls", 1.0);
   const std::size_t n_original = positions.size();
 
   SolveOptions sopts;
@@ -48,52 +50,56 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
         solved.positions.size() <= options.max_local ? 1 : 0;
     do_resort = comm_.allreduce(fits, mpi::OpMin{}) == 1;
   }
+  if (options.resort && !do_resort)
+    obs::count(ctx.obs(), "fcs.resort_fallback", 1.0);
 
   if (do_resort) {
     // --- Method B: hand back the solver order, create resort indices ------
-    const double t0 = ctx.now();
-    resort_indices_ = redist::invert_origin_indices(
-        comm_, solved.origin, n_original, solved.resort_kind);
-    resort_n_original_ = n_original;
-    resort_n_changed_ = solved.positions.size();
-    resort_kind_ = solved.resort_kind;
-    positions = std::move(solved.positions);
-    charges = std::move(solved.charges);
-    potentials = std::move(solved.potentials);
-    field = std::move(solved.field);
-    last_resorted_ = true;
-    result.times.resort += ctx.now() - t0;
-    result.times.total += ctx.now() - t0;
+    {
+      PhaseScope phase(ctx, result.times, &PhaseTimes::resort, "fcs.resort",
+                       /*add_to_total=*/true);
+      resort_indices_ = redist::invert_origin_indices(
+          comm_, solved.origin, n_original, solved.resort_kind);
+      resort_n_original_ = n_original;
+      resort_n_changed_ = solved.positions.size();
+      resort_kind_ = solved.resort_kind;
+      positions = std::move(solved.positions);
+      charges = std::move(solved.charges);
+      potentials = std::move(solved.potentials);
+      field = std::move(solved.field);
+      last_resorted_ = true;
+    }
     result.resorted = true;
     result.n_local = positions.size();
     return result;
   }
 
   // --- Method A (or capacity fallback): restore original order/distribution
-  const double t0 = ctx.now();
-  struct ResultPacket {
-    std::uint64_t origin;
-    double potential;
-    Vec3 field;
-  };
-  std::vector<ResultPacket> packets(solved.positions.size());
-  for (std::size_t i = 0; i < packets.size(); ++i)
-    packets[i] =
-        ResultPacket{solved.origin[i], solved.potentials[i], solved.field[i]};
-  std::vector<ResultPacket> restored = redist::restore_to_origin(
-      comm_, packets, [](const ResultPacket& pk) { return pk.origin; },
-      n_original, redist::ExchangeKind::kDense);
-  potentials.resize(n_original);
-  field.resize(n_original);
-  for (std::size_t i = 0; i < n_original; ++i) {
-    potentials[i] = restored[i].potential;
-    field[i] = restored[i].field;
+  {
+    PhaseScope phase(ctx, result.times, &PhaseTimes::restore, "fcs.restore",
+                     /*add_to_total=*/true);
+    struct ResultPacket {
+      std::uint64_t origin;
+      double potential;
+      Vec3 field;
+    };
+    std::vector<ResultPacket> packets(solved.positions.size());
+    for (std::size_t i = 0; i < packets.size(); ++i)
+      packets[i] =
+          ResultPacket{solved.origin[i], solved.potentials[i], solved.field[i]};
+    std::vector<ResultPacket> restored = redist::restore_to_origin(
+        comm_, packets, [](const ResultPacket& pk) { return pk.origin; },
+        n_original, redist::ExchangeKind::kDense);
+    potentials.resize(n_original);
+    field.resize(n_original);
+    for (std::size_t i = 0; i < n_original; ++i) {
+      potentials[i] = restored[i].potential;
+      field[i] = restored[i].field;
+    }
+    last_resorted_ = false;
+    resort_indices_.clear();
+    resort_n_changed_ = n_original;
   }
-  last_resorted_ = false;
-  resort_indices_.clear();
-  resort_n_changed_ = n_original;
-  result.times.restore += ctx.now() - t0;
-  result.times.total += ctx.now() - t0;
   result.resorted = false;
   result.n_local = n_original;
   return result;

@@ -11,18 +11,20 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "domain/box.hpp"
 #include "domain/vec3.hpp"
 #include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
 #include "redist/atasp.hpp"
 
 namespace fcs {
 
 /// Virtual-time breakdown of one solver execution, per rank. The benchmark
-/// harnesses reduce these with max over ranks.
+/// harnesses reduce these with max over ranks (md::reduce_phase_max).
 struct PhaseTimes {
   double sort = 0.0;     // particle reordering + redistribution into the
                          // solver's decomposition (incl. ghost creation)
@@ -31,14 +33,92 @@ struct PhaseTimes {
   double resort = 0.0;   // method B: creating resort indices (solver side)
   double total = 0.0;
 
-  PhaseTimes& operator+=(const PhaseTimes& o) {
-    sort += o.sort;
-    compute += o.compute;
-    restore += o.restore;
-    resort += o.resort;
-    total += o.total;
-    return *this;
+  PhaseTimes& operator+=(const PhaseTimes& o);
+};
+
+/// Named-field table of PhaseTimes: the single place that knows which fields
+/// exist. Reductions, accumulation, and printing all iterate this.
+struct PhaseField {
+  const char* name;
+  double PhaseTimes::*member;
+};
+
+inline constexpr PhaseField kPhaseFields[] = {
+    {"sort", &PhaseTimes::sort},       {"compute", &PhaseTimes::compute},
+    {"restore", &PhaseTimes::restore}, {"resort", &PhaseTimes::resort},
+    {"total", &PhaseTimes::total},
+};
+
+inline constexpr int kNumPhaseFields =
+    static_cast<int>(sizeof(kPhaseFields) / sizeof(kPhaseFields[0]));
+
+template <class Fn>
+void for_each_field(const PhaseTimes& t, Fn&& fn) {
+  for (const PhaseField& f : kPhaseFields) fn(f.name, t.*f.member);
+}
+
+template <class Fn>
+void for_each_field(PhaseTimes& t, Fn&& fn) {
+  for (const PhaseField& f : kPhaseFields) fn(f.name, t.*f.member);
+}
+
+inline PhaseTimes& PhaseTimes::operator+=(const PhaseTimes& o) {
+  for (const PhaseField& f : kPhaseFields) this->*f.member += o.*f.member;
+  return *this;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const PhaseTimes& t) {
+  os << "PhaseTimes{";
+  const char* sep = "";
+  for_each_field(t, [&](const char* name, double v) {
+    os << sep << name << "=" << v;
+    sep = ", ";
+  });
+  return os << "}";
+}
+
+/// RAII timer for one PhaseTimes field. While alive it covers an obs span of
+/// the given name; at stop() it accumulates the elapsed virtual time into
+/// `times.*field` (plus `times.total` when add_to_total is set) and into an
+/// obs counter of the same name, so the metrics export carries the same
+/// figures as the PhaseTimes plumbing. stop() is idempotent, which lets a
+/// caller end timing explicitly before the PhaseTimes it references is moved
+/// or returned.
+class PhaseScope {
+ public:
+  PhaseScope(sim::RankCtx& ctx, PhaseTimes& times, double PhaseTimes::*field,
+             const char* name, bool add_to_total = false)
+      : ctx_(ctx),
+        times_(times),
+        field_(field),
+        name_(name),
+        add_to_total_(add_to_total),
+        span_(ctx.obs(), name),
+        t0_(ctx.now()) {}
+  ~PhaseScope() { stop(); }
+
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    span_.end();
+    const double dt = ctx_.now() - t0_;
+    times_.*field_ += dt;
+    if (add_to_total_) times_.total += dt;
+    obs::count(ctx_.obs(), name_, dt);
   }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  sim::RankCtx& ctx_;
+  PhaseTimes& times_;
+  double PhaseTimes::*field_;
+  const char* name_;
+  bool add_to_total_;
+  obs::Span span_;
+  double t0_;
+  bool stopped_ = false;
 };
 
 struct SolveOptions {

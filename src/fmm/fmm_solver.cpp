@@ -68,6 +68,8 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   const double t0 = ctx.now();
 
   // --- Sort phase: place particles into Z-Morton boxes ----------------------
+  fcs::PhaseScope sort_phase(ctx, result.times, &fcs::PhaseTimes::sort,
+                             "fmm.sort");
   std::vector<FmmParticle> items(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i)
     items[i] = FmmParticle{positions[i], charges[i],
@@ -88,10 +90,11 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   } else {
     sortlib::parallel_sort_partition(comm, items, key_fn);
   }
-  result.times.sort = ctx.now() - t0;
+  sort_phase.stop();
 
   // --- Compute phase ---------------------------------------------------------
-  const double t1 = ctx.now();
+  fcs::PhaseScope compute_phase(ctx, result.times, &fcs::PhaseTimes::compute,
+                                "fmm.compute");
   std::vector<double> potentials(items.size(), 0.0);
   std::vector<Vec3> field(items.size(), Vec3{});
   if (options.modeled_compute) {
@@ -111,7 +114,7 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   } else {
     compute_fields(comm, items, potentials, field);
   }
-  result.times.compute = ctx.now() - t1;
+  compute_phase.stop();
 
   // --- Output in solver (Z-curve) order --------------------------------------
   const std::size_t n = items.size();

@@ -1,5 +1,6 @@
 #include "md/simulation.hpp"
 
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace md {
@@ -8,16 +9,16 @@ using domain::Vec3;
 
 fcs::PhaseTimes reduce_phase_max(const mpi::Comm& comm,
                                  const fcs::PhaseTimes& times) {
-  const double in[5] = {times.sort, times.compute, times.restore,
-                        times.resort, times.total};
-  double out[5];
-  comm.allreduce(in, out, 5, mpi::OpMax{});
+  // Pack through the named-field table so a new PhaseTimes field joins the
+  // reduction (and every other field-generic consumer) automatically.
+  double in[fcs::kNumPhaseFields];
+  double out[fcs::kNumPhaseFields];
+  std::size_t i = 0;
+  fcs::for_each_field(times, [&](const char*, double v) { in[i++] = v; });
+  comm.allreduce(in, out, fcs::kNumPhaseFields, mpi::OpMax{});
   fcs::PhaseTimes r;
-  r.sort = out[0];
-  r.compute = out[1];
-  r.restore = out[2];
-  r.resort = out[3];
-  r.total = out[4];
+  i = 0;
+  fcs::for_each_field(r, [&](const char*, double& v) { v = out[i++]; });
   return r;
 }
 
@@ -73,14 +74,22 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
   std::vector<double> phi;
   std::vector<Vec3> field;
 
+  // Counters recorded below are attributed to epoch 0 (setup + first solve)
+  // or to the MD step index, so per-step traffic shows up in the metrics.
+  obs::RankObs* const o = ctx.obs();
+  if (o != nullptr) o->set_epoch(0);
+
   // Initial interactions (line 5 of Fig. 3).
-  fcs::RunResult rr =
-      handle.run(particles.pos, particles.q, phi, field, ropts);
-  if (rr.resorted) {
-    handle.resort_vec3(particles.vel);
-    handle.resort_vec3(particles.acc);
+  fcs::RunResult rr;
+  {
+    obs::Span init_span(ctx, "md.init");
+    rr = handle.run(particles.pos, particles.q, phi, field, ropts);
+    if (rr.resorted) {
+      handle.resort_vec3(particles.vel);
+      handle.resort_vec3(particles.acc);
+    }
+    particles.acc = accelerations_from_field(particles.q, field);
   }
-  particles.acc = accelerations_from_field(particles.q, field);
   result.step_times.push_back(reduce_phase_max(comm, rr.times));
   result.resorted.push_back(rr.resorted);
   result.energy_first = potential_energy(comm, particles.q, phi);
@@ -89,6 +98,8 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
       static_cast<std::uint64_t>(comm.rank()));
 
   for (int step = 1; step <= cfg.steps; ++step) {
+    if (o != nullptr) o->set_epoch(step);
+    obs::Span step_span(ctx, "md.step");
     double max_move_local = 0.0;
     if (cfg.surrogate_motion) {
       surrogate_displace(particles, cfg.box, cfg.surrogate_step, rng);
@@ -97,6 +108,7 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
       max_move_local = advance_positions(particles, cfg.box, cfg.dt);
     }
     const double max_move = comm.allreduce(max_move_local, mpi::OpMax{});
+    obs::observe(o, "md.max_move", max_move);
     ropts.max_particle_move = cfg.exploit_max_movement ? max_move : -1.0;
 
     rr = handle.run(particles.pos, particles.q, phi, field, ropts);
@@ -111,6 +123,7 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     } else {
       advance_velocities(particles, new_acc, cfg.dt);
     }
+    step_span.end();
     result.step_times.push_back(reduce_phase_max(comm, rr.times));
     result.resorted.push_back(rr.resorted);
   }

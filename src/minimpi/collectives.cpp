@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
 
 namespace mpi {
 
@@ -21,6 +22,8 @@ std::byte* as_bytes(void* p) { return static_cast<std::byte*>(p); }
 
 void Comm::barrier() const {
   // Dissemination barrier: ceil(log2 p) rounds, rank r signals r + 2^k.
+  obs::Span span(ctx_->obs(), "mpi.barrier");
+  obs::count(ctx_->obs(), "mpi.barrier.calls", 1.0);
   const int p = size();
   const int r = rank();
   const std::uint64_t tag = next_collective_tag(kOpBarrier);
@@ -36,6 +39,9 @@ void Comm::barrier() const {
 }
 
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root) const {
+  obs::Span span(ctx_->obs(), "mpi.bcast");
+  obs::count(ctx_->obs(), "mpi.bcast.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.bcast.bytes", static_cast<double>(bytes));
   const int p = size();
   const int r = rank();
   FCS_CHECK(root >= 0 && root < p, "bcast root out of range");
@@ -68,6 +74,10 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) const {
 void Comm::reduce_bytes(const void* in, void* out, std::size_t count,
                         std::size_t elem_size, int root, CombineFn combine,
                         const void* op) const {
+  obs::Span span(ctx_->obs(), "mpi.reduce");
+  obs::count(ctx_->obs(), "mpi.reduce.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.reduce.bytes",
+             static_cast<double>(count * elem_size));
   const int p = size();
   const int r = rank();
   FCS_CHECK(root >= 0 && root < p, "reduce root out of range");
@@ -104,6 +114,10 @@ void Comm::reduce_bytes(const void* in, void* out, std::size_t count,
 
 void Comm::allgather_bytes(const void* in, std::size_t bytes_each,
                            void* out) const {
+  obs::Span span(ctx_->obs(), "mpi.allgather");
+  obs::count(ctx_->obs(), "mpi.allgather.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.allgather.bytes",
+             static_cast<double>(bytes_each) * static_cast<double>(size() - 1));
   const int p = size();
   const int r = rank();
   const std::uint64_t tag = next_collective_tag(kOpAllgather);
@@ -145,6 +159,8 @@ void Comm::allgather_bytes(const void* in, std::size_t bytes_each,
 void Comm::allgatherv_bytes(const void* in,
                             const std::vector<std::size_t>& bytes,
                             void* out) const {
+  obs::Span span(ctx_->obs(), "mpi.allgatherv");
+  obs::count(ctx_->obs(), "mpi.allgatherv.calls", 1.0);
   const int p = size();
   const int r = rank();
   FCS_CHECK(static_cast<int>(bytes.size()) == p,
@@ -206,6 +222,9 @@ void Comm::allgatherv_bytes(const void* in,
 
 void Comm::gather_bytes(const void* in, std::size_t bytes_each, void* out,
                         int root) const {
+  obs::Span span(ctx_->obs(), "mpi.gather");
+  obs::count(ctx_->obs(), "mpi.gather.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.gather.bytes", static_cast<double>(bytes_each));
   const int p = size();
   const int r = rank();
   const std::uint64_t tag = next_collective_tag(kOpGather);
@@ -229,6 +248,9 @@ void Comm::gather_bytes(const void* in, std::size_t bytes_each, void* out,
 
 void Comm::scatter_bytes(const void* in, std::size_t bytes_each, void* out,
                          int root) const {
+  obs::Span span(ctx_->obs(), "mpi.scatter");
+  obs::count(ctx_->obs(), "mpi.scatter.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.scatter.bytes", static_cast<double>(bytes_each));
   const int p = size();
   const int r = rank();
   const std::uint64_t tag = next_collective_tag(kOpScatter);
@@ -252,6 +274,10 @@ void Comm::scatter_bytes(const void* in, std::size_t bytes_each, void* out,
 
 void Comm::alltoall_bytes(const void* in, std::size_t bytes_each,
                           void* out) const {
+  obs::Span span(ctx_->obs(), "mpi.alltoall");
+  obs::count(ctx_->obs(), "mpi.alltoall.calls", 1.0);
+  obs::count(ctx_->obs(), "mpi.alltoall.bytes",
+             static_cast<double>(bytes_each) * static_cast<double>(size() - 1));
   const int p = size();
   const int r = rank();
   const std::uint64_t tag = next_collective_tag(kOpAlltoall);
@@ -308,6 +334,8 @@ void Comm::alltoall_bytes(const void* in, std::size_t bytes_each,
 std::vector<std::byte> Comm::alltoallv_bytes(
     const void* in, const std::vector<std::size_t>& send_bytes,
     std::vector<std::size_t>& recv_bytes) const {
+  obs::Span span(ctx_->obs(), "mpi.alltoallv");
+  obs::count(ctx_->obs(), "mpi.alltoallv.calls", 1.0);
   const int p = size();
   const int r = rank();
   FCS_CHECK(static_cast<int>(send_bytes.size()) == p,
@@ -326,6 +354,8 @@ std::vector<std::byte> Comm::alltoallv_bytes(
   std::size_t total_send = 0;
   for (int i = 0; i < p; ++i)
     if (i != r) total_send += send_bytes[static_cast<std::size_t>(i)];
+  obs::count(ctx_->obs(), "mpi.alltoallv.bytes",
+             static_cast<double>(total_send));
   ctx_->advance(
       ctx_->config().network->dense_exchange_latency(ctx_->rank(), p) +
       static_cast<double>(total_send) *
@@ -368,10 +398,23 @@ std::vector<std::byte> Comm::alltoallv_bytes(
 std::vector<std::byte> Comm::sparse_alltoallv_bytes(
     const void* in, const std::vector<std::size_t>& send_bytes,
     std::vector<std::size_t>& recv_bytes) const {
+  obs::Span span(ctx_->obs(), "mpi.sparse_alltoallv");
   const int p = size();
   const int r = rank();
   FCS_CHECK(static_cast<int>(send_bytes.size()) == p,
             "sparse_alltoallv needs one send size per rank");
+  if (obs::RankObs* const o = ctx_->obs(); o != nullptr) {
+    double moved = 0.0;
+    double partners = 0.0;
+    for (int i = 0; i < p; ++i) {
+      if (i == r || send_bytes[static_cast<std::size_t>(i)] == 0) continue;
+      moved += static_cast<double>(send_bytes[static_cast<std::size_t>(i)]);
+      partners += 1.0;
+    }
+    o->add("mpi.sparse_alltoallv.calls", 1.0);
+    o->add("mpi.sparse_alltoallv.bytes", moved);
+    o->add("mpi.sparse_alltoallv.partners", partners);
+  }
   const std::uint64_t tag = next_collective_tag(kOpSparse);
 
   std::vector<std::size_t> send_offsets(static_cast<std::size_t>(p) + 1, 0);

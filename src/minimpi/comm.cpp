@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.hpp"
+
 namespace mpi {
 
 namespace {
@@ -70,6 +72,10 @@ int Comm::comm_rank_of_world(int world) const {
 
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst,
                       int tag) const {
+  if (obs::RankObs* const o = ctx_->obs(); o != nullptr) {
+    o->add("mpi.p2p.msgs", 1.0);
+    o->add("mpi.p2p.bytes", static_cast<double>(bytes));
+  }
   ctx_->send(world_rank(dst), p2p_tag(tag), data, bytes);
 }
 

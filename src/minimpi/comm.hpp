@@ -285,6 +285,8 @@ class Comm {
   template <class T, class Op>
   void exscan_v(const T* in, T* out, std::size_t n, Op op) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    obs::Span span(ctx_->obs(), "mpi.exscan_v");
+    obs::count(ctx_->obs(), "mpi.exscan_v.calls", 1.0);
     const int p = size();
     const int r = rank();
     std::vector<T> running(in, in + n);
@@ -374,6 +376,8 @@ class Comm {
   T scan_impl(T value, Op op, bool inclusive) const {
     // Hillis-Steele distance doubling on the exclusive prefix.
     static_assert(std::is_trivially_copyable_v<T>);
+    obs::Span span(ctx_->obs(), "mpi.scan");
+    obs::count(ctx_->obs(), "mpi.scan.calls", 1.0);
     const int p = size();
     const int r = rank();
     T running = value;       // combined value of ranks [r - span + 1, r]

@@ -1,0 +1,118 @@
+#include "obs/obs.hpp"
+
+#include <cmath>
+
+namespace obs {
+
+int Histogram::bucket_of(double v) {
+  FCS_CHECK(v >= 0.0, "histogram values must be non-negative, got " << v);
+  if (v == 0.0) return 0;
+  const int b = 2 + static_cast<int>(std::ceil(std::log2(v)) - 1.0);
+  return b < 1 ? 1 : (b >= kBuckets ? kBuckets - 1 : b);
+}
+
+double Histogram::bucket_upper(int b) {
+  FCS_ASSERT(b >= 0 && b < kBuckets);
+  return b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+void RankObs::begin_span(std::string_view name) {
+  if (!recorder_->record_spans()) return;
+  open_.emplace_back(recorder_->intern(name), now());
+}
+
+void RankObs::end_span() {
+  if (!recorder_->record_spans()) return;
+  FCS_CHECK(!open_.empty(),
+            "obs: end_span on rank " << rank_ << " without an open span");
+  SpanEvent ev;
+  ev.name_id = open_.back().first;
+  ev.depth = static_cast<int>(open_.size()) - 1;
+  ev.begin = open_.back().second;
+  ev.end = now();
+  open_.pop_back();
+  spans_.push_back(ev);
+}
+
+Counter& RankObs::counter(std::string_view name) {
+  return counters_[recorder_->intern(name)];
+}
+
+Histogram& RankObs::histogram(std::string_view name) {
+  return histograms_[recorder_->intern(name)];
+}
+
+void Recorder::attach(int nranks) {
+  FCS_CHECK(nranks >= 1, "recorder needs at least one rank");
+  FCS_CHECK(!attached(), "recorder is already attached to an engine");
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    ranks_.push_back(std::unique_ptr<RankObs>(new RankObs(this, r)));
+}
+
+RankObs& Recorder::rank(int r) {
+  FCS_CHECK(r >= 0 && r < nranks(), "recorder rank " << r << " out of range");
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+const RankObs& Recorder::rank(int r) const {
+  FCS_CHECK(r >= 0 && r < nranks(), "recorder rank " << r << " out of range");
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+int Recorder::intern(std::string_view name) {
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Recorder::name_of(int id) const {
+  FCS_CHECK(id >= 0 && id < static_cast<int>(names_.size()),
+            "unknown obs name id " << id);
+  return names_[static_cast<std::size_t>(id)];
+}
+
+std::map<std::string, CounterReduction> Recorder::reduce_counters() const {
+  // Union of counter ids and, per id, the union of epochs across ranks.
+  std::map<int, std::map<int, bool>> epochs_of;
+  for (const auto& rank : ranks_)
+    for (const auto& [id, counter] : rank->counters())
+      for (const auto& [epoch, value] : counter.by_epoch()) {
+        (void)value;
+        epochs_of[id][epoch] = true;
+      }
+
+  std::map<std::string, CounterReduction> out;
+  for (const auto& [id, epochs] : epochs_of) {
+    CounterReduction red;
+    for (const auto& rank : ranks_) {
+      const auto it = rank->counters().find(id);
+      red.totals.add(it != rank->counters().end() ? it->second.total() : 0.0);
+      for (const auto& [epoch, present] : epochs) {
+        (void)present;
+        double v = 0.0;
+        if (it != rank->counters().end()) {
+          const auto eit = it->second.by_epoch().find(epoch);
+          if (eit != it->second.by_epoch().end()) v = eit->second;
+        }
+        red.by_epoch[epoch].add(v);
+      }
+    }
+    out.emplace(name_of(id), std::move(red));
+  }
+  return out;
+}
+
+std::map<std::string, Histogram> Recorder::merge_histograms() const {
+  std::map<int, Histogram> merged;
+  for (const auto& rank : ranks_)
+    for (const auto& [id, hist] : rank->histograms()) merged[id].merge(hist);
+  std::map<std::string, Histogram> out;
+  for (const auto& [id, hist] : merged) out.emplace(name_of(id), hist);
+  return out;
+}
+
+}  // namespace obs

@@ -1,0 +1,232 @@
+// Observability layer: per-rank spans, counters, and histograms stamped with
+// the sim engine's deterministic virtual clocks.
+//
+// A Recorder is attached to one engine run (sim::EngineConfig::recorder) and
+// holds one RankObs per simulated rank. Because every timestamp is a virtual
+// clock value and every container iterates in a deterministic order, two runs
+// of the same configuration produce byte-identical exports - traces and
+// metrics are diffable artifacts, not samples.
+//
+//   sim::EngineConfig cfg;
+//   cfg.recorder = std::make_shared<obs::Recorder>();
+//   sim::Engine engine(cfg);
+//   engine.run([](sim::RankCtx& ctx) {
+//     obs::Span span(ctx, "app.phase");          // nests, balanced by RAII
+//     obs::count(ctx.obs(), "app.items", n);     // per-rank, per-epoch
+//   });
+//   obs::write_chrome_trace(os, {{"run", cfg.recorder.get()}});
+//
+// When no recorder is attached, ctx.obs() is null and every hook is a single
+// pointer check. The layer is single-threaded by design, like the engine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace obs {
+
+/// Order statistics of a set of values; the cross-rank reduction result.
+struct Summary {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  void add(double v) {
+    if (v < min) min = v;
+    if (v > max) max = v;
+    sum += v;
+    ++count;
+  }
+
+  void merge(const Summary& o) {
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+    sum += o.sum;
+    count += o.count;
+  }
+};
+
+/// Power-of-two bucket histogram for non-negative values (message sizes,
+/// element counts). Bucket b holds values in (2^(b-2), 2^(b-1)]; bucket 0
+/// holds exact zeros, bucket 1 holds (0, 1].
+struct Histogram {
+  static constexpr int kBuckets = 66;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  Summary stats;
+
+  static int bucket_of(double v);
+  /// Inclusive upper bound of bucket b (0 for b == 0).
+  static double bucket_upper(int b);
+
+  void observe(double v) {
+    stats.add(v);
+    ++buckets[static_cast<std::size_t>(bucket_of(v))];
+  }
+
+  void merge(const Histogram& o) {
+    stats.merge(o.stats);
+    for (int b = 0; b < kBuckets; ++b)
+      buckets[static_cast<std::size_t>(b)] += o.buckets[static_cast<std::size_t>(b)];
+  }
+};
+
+/// A completed span on one rank's track. Depth 0 is the outermost level;
+/// children close before their parents, so spans_ is in end-time order.
+struct SpanEvent {
+  int name_id = 0;
+  int depth = 0;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Per-rank counter: a total plus a per-epoch breakdown. Epochs are small
+/// application-defined integers (the MD driver uses the time-step index).
+class Counter {
+ public:
+  void add(double v, int epoch) {
+    total_ += v;
+    by_epoch_[epoch] += v;
+  }
+  double total() const { return total_; }
+  const std::map<int, double>& by_epoch() const { return by_epoch_; }
+
+ private:
+  double total_ = 0.0;
+  std::map<int, double> by_epoch_;
+};
+
+class Recorder;
+
+/// Recording handle of one simulated rank. Obtained from the engine via
+/// sim::RankCtx::obs() (null when no recorder is attached).
+class RankObs {
+ public:
+  int rank() const { return rank_; }
+
+  /// Engine wiring: timestamps are read through this pointer (the rank's
+  /// virtual clock). Unbound handles read time 0.
+  void bind_clock(const double* clock) { clock_ = clock; }
+  double now() const { return clock_ != nullptr ? *clock_ : 0.0; }
+
+  /// Current epoch for counter attribution (e.g. the MD step index).
+  void set_epoch(int epoch) { epoch_ = epoch; }
+  int epoch() const { return epoch_; }
+
+  // --- spans ---------------------------------------------------------------
+
+  void begin_span(std::string_view name);
+  void end_span();
+  int open_spans() const { return static_cast<int>(open_.size()); }
+  const std::vector<SpanEvent>& spans() const { return spans_; }
+
+  // --- metrics -------------------------------------------------------------
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  void add(std::string_view name, double v) { counter(name).add(v, epoch_); }
+  void observe(std::string_view name, double v) { histogram(name).observe(v); }
+
+  const std::map<int, Counter>& counters() const { return counters_; }
+  const std::map<int, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  friend class Recorder;
+  RankObs(Recorder* recorder, int rank) : recorder_(recorder), rank_(rank) {}
+
+  Recorder* recorder_;
+  int rank_;
+  const double* clock_ = nullptr;
+  int epoch_ = 0;
+  std::vector<std::pair<int, double>> open_;  // (name id, begin time)
+  std::vector<SpanEvent> spans_;
+  std::map<int, Counter> counters_;      // name id -> counter
+  std::map<int, Histogram> histograms_;  // name id -> histogram
+};
+
+/// Null-safe hook helpers: the hot paths call these with ctx.obs(), which is
+/// null when observability is off.
+inline void count(RankObs* o, std::string_view name, double v) {
+  if (o != nullptr) o->add(name, v);
+}
+inline void observe(RankObs* o, std::string_view name, double v) {
+  if (o != nullptr) o->observe(name, v);
+}
+
+/// RAII span. Null-safe: a Span over a null RankObs records nothing.
+class Span {
+ public:
+  Span(RankObs* o, std::string_view name) : obs_(o) {
+    if (obs_ != nullptr) obs_->begin_span(name);
+  }
+  /// Convenience for contexts exposing obs() (sim::RankCtx).
+  template <class Ctx, class = std::void_t<decltype(std::declval<Ctx&>().obs())>>
+  Span(Ctx& ctx, std::string_view name) : Span(ctx.obs(), name) {}
+  ~Span() { end(); }
+
+  /// End the span now instead of at scope exit. Idempotent.
+  void end() {
+    if (obs_ != nullptr) obs_->end_span();
+    obs_ = nullptr;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  RankObs* obs_;
+};
+
+/// Cross-rank reduction of one counter: summary of the per-rank totals plus
+/// one summary per epoch. Ranks that never touched the counter (or epoch)
+/// contribute 0, so count always equals the rank count.
+struct CounterReduction {
+  Summary totals;
+  std::map<int, Summary> by_epoch;
+};
+
+/// The per-run recording sink: one RankObs per simulated rank plus the shared
+/// span/metric name table. Construct with record_spans = false to keep only
+/// counters and histograms (the metrics-only export path).
+class Recorder {
+ public:
+  explicit Recorder(bool record_spans = true) : record_spans_(record_spans) {}
+
+  /// Engine wiring: create the per-rank handles. One engine per recorder.
+  void attach(int nranks);
+  bool attached() const { return !ranks_.empty(); }
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  bool record_spans() const { return record_spans_; }
+
+  RankObs& rank(int r);
+  const RankObs& rank(int r) const;
+
+  /// Intern a span/metric name; ids are dense and deterministic.
+  int intern(std::string_view name);
+  const std::string& name_of(int id) const;
+
+  /// MPI-style reduction across the simulated ranks, per counter name.
+  std::map<std::string, CounterReduction> reduce_counters() const;
+  /// Histograms merged across ranks, per name.
+  std::map<std::string, Histogram> merge_histograms() const;
+
+ private:
+  bool record_spans_;
+  std::vector<std::unique_ptr<RankObs>> ranks_;
+  std::vector<std::string> names_;
+  std::map<std::string, int, std::less<>> name_ids_;
+};
+
+}  // namespace obs

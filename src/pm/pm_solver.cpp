@@ -76,6 +76,8 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   const double t0 = ctx.now();
 
   // --- Sort phase: redistribute to the Cartesian grid, create ghosts -------
+  fcs::PhaseScope sort_phase(ctx, result.times, &fcs::PhaseTimes::sort,
+                             "pm.sort");
   const std::vector<int> cdims = mpi::dims_create(comm.size(), 3);
   const domain::CartGrid grid(box_, {cdims[0], cdims[1], cdims[2]});
   mpi::CartComm cart(comm, cdims, {true, true, true});
@@ -156,10 +158,11 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   std::stable_partition(received.begin(), received.end(), is_owned);
   std::size_t n_owned = 0;
   while (n_owned < received.size() && is_owned(received[n_owned])) ++n_owned;
-  result.times.sort = ctx.now() - t0;
+  sort_phase.stop();
 
   // --- Compute phase --------------------------------------------------------
-  const double t1 = ctx.now();
+  fcs::PhaseScope compute_phase(ctx, result.times, &fcs::PhaseTimes::compute,
+                                "pm.compute");
   std::vector<double> potentials(n_owned, 0.0);
   std::vector<Vec3> field(n_owned, Vec3{});
   if (options.modeled_compute) {
@@ -180,7 +183,7 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   } else {
     compute_fields(comm, grid, received, n_owned, potentials, field);
   }
-  result.times.compute = ctx.now() - t1;
+  compute_phase.stop();
 
   // --- Output in solver order (ghosts removed, paper Sect. III-B) ----------
   result.positions.resize(n_owned);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
 
 namespace redist {
 
@@ -38,6 +39,7 @@ std::vector<T> fine_grained_redistribute(
     const mpi::Comm& comm, const std::vector<T>& items, DistFn dist,
     ExchangeKind kind, std::vector<std::size_t>* recv_counts_out = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
+  obs::Span span(comm.ctx().obs(), "redist.fine_grained");
   const int p = comm.size();
 
   // Pass 1: count per destination.
@@ -71,6 +73,21 @@ std::vector<T> fine_grained_redistribute(
       kind == ExchangeKind::kDense
           ? comm.alltoallv(packed.data(), send_counts, recv_counts)
           : comm.sparse_alltoallv(packed.data(), send_counts, recv_counts);
+  if (obs::RankObs* const o = comm.ctx().obs(); o != nullptr) {
+    const bool dense = kind == ExchangeKind::kDense;
+    const std::size_t self = send_counts[static_cast<std::size_t>(comm.rank())];
+    const std::size_t moved = packed.size() - self;
+    o->add(dense ? "redist.dense.calls" : "redist.sparse.calls", 1.0);
+    o->add(dense ? "redist.dense.elements_out" : "redist.sparse.elements_out",
+           static_cast<double>(packed.size()));
+    o->add(dense ? "redist.dense.elements_moved"
+                 : "redist.sparse.elements_moved",
+           static_cast<double>(moved));
+    o->add(dense ? "redist.dense.bytes_moved" : "redist.sparse.bytes_moved",
+           static_cast<double>(moved * sizeof(T)));
+    o->add(dense ? "redist.dense.elements_in" : "redist.sparse.elements_in",
+           static_cast<double>(received.size()));
+  }
   if (recv_counts_out != nullptr) *recv_counts_out = std::move(recv_counts);
   return received;
 }

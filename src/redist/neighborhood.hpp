@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
 
 namespace redist {
 
@@ -27,6 +28,7 @@ std::vector<T> neighborhood_alltoallv(const mpi::Comm& comm,
                                       const std::vector<std::size_t>& send_counts,
                                       std::vector<std::size_t>& recv_counts) {
   static_assert(std::is_trivially_copyable_v<T>);
+  obs::Span span(comm.ctx().obs(), "redist.neighborhood");
   const int p = comm.size();
   const int r = comm.rank();
   FCS_CHECK(static_cast<int>(send_counts.size()) == p,
@@ -45,6 +47,15 @@ std::vector<T> neighborhood_alltoallv(const mpi::Comm& comm,
               "neighborhood exchange: data for non-neighbor rank " << d);
     offsets[static_cast<std::size_t>(d) + 1] =
         offsets[static_cast<std::size_t>(d)] + send_counts[static_cast<std::size_t>(d)];
+  }
+
+  if (obs::RankObs* const o = comm.ctx().obs(); o != nullptr) {
+    double moved = 0.0;
+    for (int n : neighbors)
+      moved += static_cast<double>(send_counts[static_cast<std::size_t>(n)]);
+    o->add("redist.neighborhood.calls", 1.0);
+    o->add("redist.neighborhood.elements_moved", moved);
+    o->add("redist.neighborhood.bytes_moved", moved * sizeof(T));
   }
 
   // Post all sends (eager), then receive one message from every neighbor.

@@ -20,10 +20,12 @@ void RankCtx::advance(double seconds) {
 
 void RankCtx::charge_ops(double ops) {
   clock_ += ops / engine_->config().compute_rate;
+  obs::count(obs_, "sim.charge.ops", ops);
 }
 
 void RankCtx::charge_bytes(double bytes) {
   clock_ += bytes / engine_->config().memory_rate;
+  obs::count(obs_, "sim.charge.bytes", bytes);
 }
 
 void RankCtx::send(int dst, std::uint64_t tag, const void* data,
@@ -33,6 +35,11 @@ void RankCtx::send(int dst, std::uint64_t tag, const void* data,
             "send to invalid rank " << dst << " of " << cfg.nranks);
   clock_ += cfg.send_overhead + static_cast<double>(bytes) / cfg.memory_rate +
             cfg.network->injection_time(rank_, dst, bytes);
+  if (obs_ != nullptr) {
+    obs_->add("sim.send.msgs", 1.0);
+    obs_->add("sim.send.bytes", static_cast<double>(bytes));
+    obs_->observe("sim.msg_bytes", static_cast<double>(bytes));
+  }
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -51,6 +58,10 @@ RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
     if (m.has_value()) {
       clock_ = std::max(clock_, m->arrival) + cfg.recv_overhead +
                static_cast<double>(m->payload.size()) / cfg.memory_rate;
+      if (obs_ != nullptr) {
+        obs_->add("sim.recv.msgs", 1.0);
+        obs_->add("sim.recv.bytes", static_cast<double>(m->payload.size()));
+      }
       RecvInfo info;
       info.src = m->src;
       info.tag = m->tag;
@@ -78,6 +89,14 @@ Engine::Engine(EngineConfig config)
   contexts_.reserve(static_cast<std::size_t>(config_.nranks));
   for (int r = 0; r < config_.nranks; ++r) contexts_.emplace_back(RankCtx(this, r));
   final_clocks_.resize(static_cast<std::size_t>(config_.nranks), 0.0);
+  if (config_.recorder != nullptr) {
+    config_.recorder->attach(config_.nranks);
+    for (int r = 0; r < config_.nranks; ++r) {
+      RankCtx& ctx = contexts_[static_cast<std::size_t>(r)];
+      ctx.obs_ = &config_.recorder->rank(r);
+      ctx.obs_->bind_clock(&ctx.clock_);
+    }
+  }
 }
 
 Engine::~Engine() = default;

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
 
@@ -37,6 +38,10 @@ struct EngineConfig {
   /// Fixed per-message CPU overheads.
   double send_overhead = 4.0e-7;
   double recv_overhead = 4.0e-7;
+  /// Optional observability sink (see obs/obs.hpp): the engine attaches it
+  /// and threads one obs::RankObs per rank through RankCtx::obs(). Null
+  /// keeps every hook a single pointer check.
+  std::shared_ptr<obs::Recorder> recorder;
 };
 
 /// Handle the rank body uses to talk to the engine. One per rank, valid only
@@ -75,6 +80,9 @@ class RankCtx {
   /// Cooperative yield back to the scheduler.
   void yield();
 
+  /// This rank's observability handle; null when no recorder is configured.
+  obs::RankObs* obs() const { return obs_; }
+
   const EngineConfig& config() const;
 
  private:
@@ -83,6 +91,7 @@ class RankCtx {
 
   Engine* engine_;
   int rank_;
+  obs::RankObs* obs_ = nullptr;
   double clock_ = 0.0;
   // Wait descriptor, valid while this rank is blocked in recv().
   int wait_src_ = 0;

@@ -7,6 +7,21 @@
 
 #include "support/error.hpp"
 
+// AddressSanitizer must be told about every stack switch, or it misattributes
+// fiber frames to the scheduler stack and reports false positives (notably
+// from __asan_handle_no_return when an exception unwinds on a fiber stack).
+#if defined(__SANITIZE_ADDRESS__)
+#define FCS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FCS_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(FCS_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace sim {
 
 namespace {
@@ -36,6 +51,7 @@ Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
   FCS_CHECK(getcontext(&context_) == 0, "getcontext failed");
   context_.uc_stack.ss_sp = static_cast<char*>(stack_) + ps;
   context_.uc_stack.ss_size = usable;
+  stack_usable_ = usable;
   context_.uc_link = &return_context_;
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
 }
@@ -47,12 +63,23 @@ Fiber::~Fiber() {
 void Fiber::trampoline() {
   Fiber* self = g_starting_fiber;
   g_starting_fiber = nullptr;
+#if defined(FCS_ASAN_FIBERS)
+  // First entry: restore nothing, but record the scheduler's stack bounds so
+  // yields and the final exit can announce switches back to it.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_main_stack_bottom_,
+                                  &self->asan_main_stack_size_);
+#endif
   try {
     self->body_();
   } catch (...) {
     self->exception_ = std::current_exception();
   }
   self->state_ = State::kFinished;
+#if defined(FCS_ASAN_FIBERS)
+  // Final switch away: null save slot tells ASan this fake stack dies.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_main_stack_bottom_,
+                                 self->asan_main_stack_size_);
+#endif
   // Falling off the end returns to uc_link == return_context_.
 }
 
@@ -62,7 +89,14 @@ void Fiber::resume() {
   Fiber* const prev = g_current_fiber;
   g_current_fiber = this;
   g_starting_fiber = this;  // only read on the very first switch
+#if defined(FCS_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&asan_main_fake_stack_, context_.uc_stack.ss_sp,
+                                 stack_usable_);
+#endif
   swapcontext(&return_context_, &context_);
+#if defined(FCS_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_main_fake_stack_, nullptr, nullptr);
+#endif
   g_current_fiber = prev;
   if (state_ == State::kRunning) state_ = State::kRunnable;
   if (finished() && exception_) std::rethrow_exception(exception_);
@@ -70,7 +104,15 @@ void Fiber::resume() {
 
 void Fiber::yield() {
   FCS_ASSERT(g_current_fiber == this);
+#if defined(FCS_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&asan_fiber_fake_stack_,
+                                 asan_main_stack_bottom_,
+                                 asan_main_stack_size_);
+#endif
   swapcontext(&context_, &return_context_);
+#if defined(FCS_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fiber_fake_stack_, nullptr, nullptr);
+#endif
 }
 
 }  // namespace sim

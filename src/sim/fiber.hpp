@@ -50,8 +50,15 @@ class Fiber {
   ucontext_t return_context_{};
   void* stack_ = nullptr;
   std::size_t stack_total_ = 0;  // includes guard page
+  std::size_t stack_usable_ = 0;
   State state_ = State::kRunnable;
   std::exception_ptr exception_;
+  // AddressSanitizer fiber bookkeeping (see the fiber-switch annotations in
+  // fiber.cpp); unused members cost nothing in non-sanitized builds.
+  void* asan_fiber_fake_stack_ = nullptr;
+  void* asan_main_fake_stack_ = nullptr;
+  const void* asan_main_stack_bottom_ = nullptr;
+  std::size_t asan_main_stack_size_ = 0;
 };
 
 }  // namespace sim

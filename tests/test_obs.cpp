@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "redist/atasp.hpp"
+#include "spmd_test_util.hpp"
+
+namespace {
+
+// --- Minimal JSON syntax checker (enough to validate the export files). ----
+
+void json_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r'))
+    ++i;
+}
+
+bool json_string_tok(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool json_value(const std::string& s, std::size_t& i);
+
+bool json_members(const std::string& s, std::size_t& i, char close,
+                  bool with_keys) {
+  json_ws(s, i);
+  if (i < s.size() && s[i] == close) {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (with_keys) {
+      json_ws(s, i);
+      if (!json_string_tok(s, i)) return false;
+      json_ws(s, i);
+      if (i >= s.size() || s[i++] != ':') return false;
+    }
+    if (!json_value(s, i)) return false;
+    json_ws(s, i);
+    if (i >= s.size()) return false;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == close) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool json_value(const std::string& s, std::size_t& i) {
+  json_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '{') return json_members(s, ++i, '}', /*with_keys=*/true);
+  if (c == '[') return json_members(s, ++i, ']', /*with_keys=*/false);
+  if (c == '"') return json_string_tok(s, i);
+  if (s.compare(i, 4, "true") == 0) return i += 4, true;
+  if (s.compare(i, 5, "false") == 0) return i += 5, true;
+  if (s.compare(i, 4, "null") == 0) return i += 4, true;
+  // Numbers per the JSON grammar; strtod would also accept the forbidden
+  // inf/nan/hex forms, which is exactly what this checker must catch.
+  std::size_t j = i;
+  auto digits = [&]() {
+    std::size_t n = 0;
+    while (j < s.size() && s[j] >= '0' && s[j] <= '9') ++j, ++n;
+    return n;
+  };
+  if (j < s.size() && s[j] == '-') ++j;
+  if (digits() == 0) return false;
+  if (j < s.size() && s[j] == '.') {
+    ++j;
+    if (digits() == 0) return false;
+  }
+  if (j < s.size() && (s[j] == 'e' || s[j] == 'E')) {
+    ++j;
+    if (j < s.size() && (s[j] == '+' || s[j] == '-')) ++j;
+    if (digits() == 0) return false;
+  }
+  i = j;
+  return true;
+}
+
+bool json_valid(const std::string& s) {
+  std::size_t i = 0;
+  if (!json_value(s, i)) return false;
+  json_ws(s, i);
+  return i == s.size();
+}
+
+TEST(JsonChecker, AcceptsAndRejects) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.5e-3,"x\"y"],"b":{},"c":null})"));
+  EXPECT_FALSE(json_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_valid(R"({"a":inf})"));
+  EXPECT_FALSE(json_valid("{} trailing"));
+}
+
+// --- Core span/counter mechanics. ------------------------------------------
+
+TEST(Obs, SpansNestAndBalanceByRaii) {
+  obs::Recorder rec;
+  rec.attach(1);
+  obs::RankObs& r = rec.rank(0);
+  double clock = 1.0;
+  r.bind_clock(&clock);
+  {
+    obs::Span outer(&r, "outer");
+    clock = 2.0;
+    {
+      obs::Span inner(&r, "inner");
+      clock = 3.0;
+    }
+    clock = 4.0;
+  }
+  ASSERT_EQ(r.open_spans(), 0);
+  ASSERT_EQ(r.spans().size(), 2u);
+  // Children close before parents.
+  EXPECT_EQ(rec.name_of(r.spans()[0].name_id), "inner");
+  EXPECT_EQ(r.spans()[0].depth, 1);
+  EXPECT_EQ(r.spans()[0].begin, 2.0);
+  EXPECT_EQ(r.spans()[0].end, 3.0);
+  EXPECT_EQ(rec.name_of(r.spans()[1].name_id), "outer");
+  EXPECT_EQ(r.spans()[1].depth, 0);
+  EXPECT_EQ(r.spans()[1].begin, 1.0);
+  EXPECT_EQ(r.spans()[1].end, 4.0);
+}
+
+TEST(Obs, EndWithoutOpenSpanThrows) {
+  obs::Recorder rec;
+  rec.attach(1);
+  EXPECT_THROW(rec.rank(0).end_span(), fcs::Error);
+}
+
+TEST(Obs, NullHandleHooksAreNoops) {
+  obs::Span span(nullptr, "ignored");
+  obs::count(nullptr, "ignored", 1.0);
+  obs::observe(nullptr, "ignored", 1.0);
+}
+
+TEST(Obs, MetricsOnlyRecorderSkipsSpans) {
+  obs::Recorder rec(/*record_spans=*/false);
+  rec.attach(1);
+  {
+    obs::Span span(&rec.rank(0), "phase");
+    rec.rank(0).add("x", 1.0);
+  }
+  EXPECT_TRUE(rec.rank(0).spans().empty());
+  EXPECT_EQ(rec.reduce_counters().at("x").totals.sum, 1.0);
+}
+
+TEST(Obs, CounterReductionZeroFillsMissingRanks) {
+  obs::Recorder rec;
+  rec.attach(3);
+  rec.rank(0).set_epoch(1);
+  rec.rank(0).add("x", 2.0);
+  rec.rank(2).set_epoch(2);
+  rec.rank(2).add("x", 4.0);
+  const auto reduced = rec.reduce_counters();
+  ASSERT_EQ(reduced.count("x"), 1u);
+  const obs::CounterReduction& red = reduced.at("x");
+  EXPECT_EQ(red.totals.count, 3u);  // rank 1 contributes an explicit zero
+  EXPECT_EQ(red.totals.min, 0.0);
+  EXPECT_EQ(red.totals.max, 4.0);
+  EXPECT_EQ(red.totals.sum, 6.0);
+  EXPECT_DOUBLE_EQ(red.totals.mean(), 2.0);
+  ASSERT_EQ(red.by_epoch.size(), 2u);
+  EXPECT_EQ(red.by_epoch.at(1).max, 2.0);
+  EXPECT_EQ(red.by_epoch.at(1).count, 3u);
+  EXPECT_EQ(red.by_epoch.at(2).sum, 4.0);
+}
+
+TEST(Obs, HistogramBucketEdges) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(0.5), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(1.0), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(1.5), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(2.0), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(2.1), 3);
+  EXPECT_EQ(obs::Histogram::bucket_upper(0), 0.0);
+  EXPECT_EQ(obs::Histogram::bucket_upper(1), 1.0);
+  EXPECT_EQ(obs::Histogram::bucket_upper(2), 2.0);
+  EXPECT_EQ(obs::Histogram::bucket_upper(3), 4.0);
+  obs::Histogram h;
+  h.observe(0.0);
+  h.observe(3.0);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.stats.count, 2u);
+}
+
+// --- Instrumented engine runs. ---------------------------------------------
+
+/// Run a 4-rank redistribution under a recorder and export both formats.
+std::pair<std::string, std::string> run_instrumented(redist::ExchangeKind kind) {
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.recorder = rec;
+  const double makespan = sim::run_spmd(cfg, [kind](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    obs::Span span(ctx, "test.body");
+    std::vector<int> items(40);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = static_cast<int>(i) + 100 * comm.rank();
+    redist::fine_grained_redistribute(
+        comm, items,
+        [&](int v, std::size_t, std::vector<int>& t) {
+          t.push_back(v % comm.size());
+        },
+        kind);
+  });
+  std::ostringstream trace, metrics;
+  obs::write_chrome_trace(trace, {{"run", rec.get()}});
+  obs::write_metrics_json(metrics, {{"run", makespan, rec.get()}});
+  return {trace.str(), metrics.str()};
+}
+
+TEST(Obs, ExportsAreValidJsonAndCoverEveryRank) {
+  const auto [trace, metrics] = run_instrumented(redist::ExchangeKind::kDense);
+  EXPECT_TRUE(json_valid(trace));
+  EXPECT_TRUE(json_valid(metrics));
+  EXPECT_NE(trace.find("\"test.body\""), std::string::npos);
+  EXPECT_NE(trace.find("\"redist.fine_grained\""), std::string::npos);
+  for (int r = 0; r < 4; ++r) {
+    const std::string tid = "\"tid\":" + std::to_string(r);
+    EXPECT_NE(trace.find(tid), std::string::npos) << "no events for rank " << r;
+  }
+  EXPECT_NE(metrics.find("\"mpi.alltoallv.bytes\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"redist.dense.elements_moved\""), std::string::npos);
+}
+
+TEST(Obs, ExportsAreByteIdenticalAcrossRuns) {
+  const auto first = run_instrumented(redist::ExchangeKind::kDense);
+  const auto second = run_instrumented(redist::ExchangeKind::kDense);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(Obs, DenseAndSparseExchangesRecordDifferentCounters) {
+  const auto dense = run_instrumented(redist::ExchangeKind::kDense);
+  const auto sparse = run_instrumented(redist::ExchangeKind::kSparse);
+  EXPECT_NE(dense.second.find("\"mpi.alltoallv.bytes\""), std::string::npos);
+  EXPECT_EQ(dense.second.find("\"mpi.sparse_alltoallv.bytes\""),
+            std::string::npos);
+  EXPECT_NE(sparse.second.find("\"mpi.sparse_alltoallv.bytes\""),
+            std::string::npos);
+  EXPECT_EQ(sparse.second.find("\"mpi.alltoallv.bytes\""), std::string::npos);
+}
+
+TEST(Obs, ExportSessionWritesEnvSelectedFiles) {
+  const std::string trace_path = testing::TempDir() + "/obs_env_trace.json";
+  const std::string metrics_path = testing::TempDir() + "/obs_env_metrics.json";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  ASSERT_EQ(::setenv("FIG_TRACE", trace_path.c_str(), 1), 0);
+  ASSERT_EQ(::setenv("FIG_METRICS", metrics_path.c_str(), 1), 0);
+  {
+    obs::ExportSession session;  // reads FIG_TRACE / FIG_METRICS
+    ASSERT_TRUE(session.enabled());
+    ASSERT_TRUE(session.tracing());
+    sim::EngineConfig cfg;
+    cfg.nranks = 2;
+    cfg.recorder = session.begin_run("env-run");
+    ASSERT_NE(cfg.recorder, nullptr);
+    const double makespan = sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+      mpi::Comm comm = mpi::Comm::world(ctx);
+      obs::Span span(ctx, "phase");
+      comm.barrier();
+    });
+    session.end_run(makespan);
+  }  // destructor writes the files
+  ::unsetenv("FIG_TRACE");
+  ::unsetenv("FIG_METRICS");
+
+  std::ifstream tf(trace_path), mf(metrics_path);
+  ASSERT_TRUE(tf.good()) << "trace file not written";
+  ASSERT_TRUE(mf.good()) << "metrics file not written";
+  std::stringstream ts, ms;
+  ts << tf.rdbuf();
+  ms << mf.rdbuf();
+  EXPECT_TRUE(json_valid(ts.str()));
+  EXPECT_TRUE(json_valid(ms.str()));
+  EXPECT_NE(ts.str().find("0:env-run"), std::string::npos);
+  EXPECT_NE(ts.str().find("\"phase\""), std::string::npos);
+  EXPECT_NE(ms.str().find("\"mpi.barrier.calls\""), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Obs, DisabledSessionReturnsNullRecorder) {
+  obs::ExportSession session("", "");
+  EXPECT_FALSE(session.enabled());
+  EXPECT_EQ(session.begin_run("x"), nullptr);
+  session.end_run(1.0);  // no-op, must not crash
+  session.finish();
+}
+
+}  // namespace
