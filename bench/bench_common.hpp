@@ -43,6 +43,11 @@ inline std::size_t env_size(const char* name, std::size_t def) {
                       : def;
 }
 
+inline double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : def;
+}
+
 /// The paper's benchmark box: cubic, 248^3, fully periodic.
 inline md::SystemConfig paper_system(std::size_t n_global,
                                      md::InitialDistribution dist) {
@@ -93,20 +98,24 @@ inline obs::ExportSession& obs_session() {
 
 /// Run one full simulation configuration on a fresh engine. When FIG_TRACE /
 /// FIG_METRICS are set, the run is recorded under `label` (default: solver
-/// name + coupling method, e.g. "fmm-B-move").
+/// name + coupling method, e.g. "fmm-B-move"). A non-null `faults` plan is
+/// injected into the engine (see sim/fault.hpp); labels of faulty runs get
+/// a "-faulty" suffix so clean and faulty metrics stay distinguishable.
 inline SimOutcome run_configuration(
     int nranks, std::shared_ptr<const sim::NetworkModel> net,
     const md::SystemConfig& sys, const std::string& solver,
     const md::SimulationConfig& sim_cfg, std::size_t stack_kb = 256,
-    std::string label = {}) {
+    std::string label = {}, const sim::FaultPlan* faults = nullptr) {
   if (label.empty()) {
     label = solver + (sim_cfg.resort ? "-B" : "-A");
     if (sim_cfg.exploit_max_movement) label += "-move";
+    if (faults != nullptr && faults->active()) label += "-faulty";
   }
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
   cfg.network = std::move(net);
   cfg.stack_bytes = stack_kb * 1024;
+  if (faults != nullptr) cfg.fault_plan = *faults;
   cfg.recorder = obs_session().begin_run(label);
   sim::Engine engine(cfg);
   SimOutcome outcome;

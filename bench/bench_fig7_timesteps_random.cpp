@@ -13,22 +13,49 @@
 // merge-based sorting / neighborhood communication, replacing the dense
 // all-to-all. With FIG_METRICS set, the per-step alltoall byte counters of
 // the A/B runs versus the Bm run show the dense -> sparse switch directly.
+//
+// Robustness testing (see README "Robustness testing"): when any FCS_FAULT_*
+// knob is set, a fourth series "Bmf" repeats the Bm configuration under the
+// env-configured fault plan plus the FCS_FAULT_ROGUE max-movement-violation
+// rate. In the FIG_METRICS output, fallback steps of the faulty run show up
+// as "redist.fallback" counts and per-step "mpi.alltoallv.bytes" reappearing
+// where the clean Bm run has none; drop/retry costs appear as
+// "sim.reliable.retransmits".
 #include "bench_common.hpp"
+
+#include "sim/fault.hpp"
 
 int main() {
   const int nranks = static_cast<int>(bench::env_size("FIG_RANKS", 256));
   const std::size_t n = bench::env_size("FIG_N", 262144);
   const int steps = 8;
 
+  const sim::FaultPlan faults = sim::FaultPlan::from_env();
+  const double rogue = bench::env_double("FCS_FAULT_ROGUE", 0.0);
+  const bool faulty = faults.active() || rogue > 0.0;
+  const int variants = faulty ? 4 : 3;
+
   std::printf("Fig. 7: time steps with random initial distribution, %d "
               "ranks, %zu particles (virtual seconds)\n",
               nranks, n);
+  if (faulty)
+    std::printf("fault injection: seed=%llu drop=%g dup=%g jitter=%g "
+                "rogue=%g (series Bmf)\n",
+                static_cast<unsigned long long>(faults.seed),
+                faults.drop_rate, faults.duplicate_rate, faults.jitter_rate,
+                rogue);
 
   for (const char* solver : {"fmm", "pm"}) {
-    fcs::Table table({"step", "A_sort", "A_restore", "A_total", "B_sort",
-                      "B_resort", "B_total", "Bm_sort", "Bm_total"});
-    md::SimulationResult res_a, res_b, res_bm;
-    for (int variant = 0; variant < 3; ++variant) {
+    std::vector<std::string> columns = {"step",    "A_sort", "A_restore",
+                                        "A_total", "B_sort", "B_resort",
+                                        "B_total", "Bm_sort", "Bm_total"};
+    if (faulty) {
+      columns.push_back("Bmf_sort");
+      columns.push_back("Bmf_total");
+    }
+    fcs::Table table(columns);
+    std::vector<md::SimulationResult> res(static_cast<std::size_t>(variants));
+    for (int variant = 0; variant < variants; ++variant) {
       const md::SystemConfig sys =
           bench::paper_system(n, md::InitialDistribution::kRandom);
       md::SimulationConfig cfg;
@@ -36,21 +63,22 @@ int main() {
       cfg.steps = steps;
       cfg.resort = variant >= 1;
       // The paper's Fig. 7 series use no movement information; the extra Bm
-      // series exploits it.
-      cfg.exploit_max_movement = variant == 2;
+      // series exploits it (and Bmf stresses it under faults).
+      cfg.exploit_max_movement = variant >= 2;
       cfg.modeled_compute = true;
       cfg.surrogate_motion = true;
       cfg.surrogate_step = 0.1;  // slight movement, like early time steps
+      if (variant == 3) cfg.rogue_rate = rogue;
       bench::SimOutcome out = bench::run_configuration(
-          nranks, bench::juropa_like(), sys, solver, cfg);
-      (variant == 0 ? res_a : variant == 1 ? res_b : res_bm) =
-          std::move(out.result);
+          nranks, bench::juropa_like(), sys, solver, cfg, 256, {},
+          variant == 3 ? &faults : nullptr);
+      res[static_cast<std::size_t>(variant)] = std::move(out.result);
     }
     for (int s = 0; s <= steps; ++s) {
-      const auto& a = res_a.step_times.at(static_cast<std::size_t>(s));
-      const auto& b = res_b.step_times.at(static_cast<std::size_t>(s));
-      const auto& bm = res_bm.step_times.at(static_cast<std::size_t>(s));
-      table.begin_row()
+      const auto& a = res[0].step_times.at(static_cast<std::size_t>(s));
+      const auto& b = res[1].step_times.at(static_cast<std::size_t>(s));
+      const auto& bm = res[2].step_times.at(static_cast<std::size_t>(s));
+      auto& row = table.begin_row()
           .col(s == 0 ? std::string("init") : std::to_string(s))
           .col(a.sort, 4)
           .col(a.restore, 4)
@@ -60,6 +88,10 @@ int main() {
           .col(b.total, 4)
           .col(bm.sort, 4)
           .col(bm.total, 4);
+      if (faulty) {
+        const auto& bmf = res[3].step_times.at(static_cast<std::size_t>(s));
+        row.col(bmf.sort, 4).col(bmf.total, 4);
+      }
     }
     std::printf("\n%s solver:\n", solver);
     std::ostringstream oss;

@@ -18,6 +18,9 @@ namespace {
 
 thread_local std::string g_last_error;
 
+// Every entry point runs through here: no C++ exception may cross the
+// extern "C" boundary (that is undefined behavior), so everything throwable
+// is converted to an FCSResult code plus a retrievable message.
 template <class Fn>
 FCSResult guarded(Fn&& fn) {
   try {
@@ -28,6 +31,9 @@ FCSResult guarded(Fn&& fn) {
     return FCS_ERROR_LOGICAL;
   } catch (const std::exception& e) {
     g_last_error = e.what();
+    return FCS_ERROR_INTERNAL;
+  } catch (...) {
+    g_last_error = "unknown non-standard exception";
     return FCS_ERROR_INTERNAL;
   }
 }
@@ -60,6 +66,8 @@ extern "C" {
 
 FCSResult fcs_init(FCS* handle, const char* method, void* comm) {
   if (auto r = require(handle && method && comm, "fcs_init: null argument"))
+    return r;
+  if (auto r = require(method[0] != '\0', "fcs_init: empty method name"))
     return r;
   return guarded([&] {
     *handle = new FCS_s(*static_cast<mpi::Comm*>(comm), method);
@@ -104,16 +112,18 @@ FCSResult fcs_tune(FCS handle, fcs_int n_local, const fcs_float* positions,
 FCSResult fcs_set_resort(FCS handle, fcs_int resort) {
   if (auto r = require(handle != nullptr, "fcs_set_resort: null handle"))
     return r;
-  handle->options.resort = resort != 0;
-  return FCS_SUCCESS;
+  return guarded([&] { handle->options.resort = resort != 0; });
 }
 
 FCSResult fcs_set_max_particle_move(FCS handle, fcs_float max_move) {
   if (auto r = require(handle != nullptr,
                        "fcs_set_max_particle_move: null handle"))
     return r;
-  handle->options.max_particle_move = max_move;
-  return FCS_SUCCESS;
+  // Any negative value means "unknown"; NaN is a caller bug.
+  if (auto r = require(max_move == max_move,
+                       "fcs_set_max_particle_move: NaN max_move"))
+    return r;
+  return guarded([&] { handle->options.max_particle_move = max_move; });
 }
 
 FCSResult fcs_run(FCS handle, fcs_int* n_local, fcs_int max_local,
@@ -146,16 +156,17 @@ FCSResult fcs_get_resort_availability(FCS handle, fcs_int* available) {
   if (auto r = require(handle && available,
                        "fcs_get_resort_availability: null argument"))
     return r;
-  *available = handle->impl.last_run_resorted() ? 1 : 0;
-  return FCS_SUCCESS;
+  return guarded(
+      [&] { *available = handle->impl.last_run_resorted() ? 1 : 0; });
 }
 
 FCSResult fcs_get_resort_particles(FCS handle, fcs_int* n_changed) {
   if (auto r = require(handle && n_changed,
                        "fcs_get_resort_particles: null argument"))
     return r;
-  *n_changed = static_cast<fcs_int>(handle->impl.resort_particle_count());
-  return FCS_SUCCESS;
+  return guarded([&] {
+    *n_changed = static_cast<fcs_int>(handle->impl.resort_particle_count());
+  });
 }
 
 FCSResult fcs_resort_floats(FCS handle, fcs_float* data, fcs_int components,
@@ -186,9 +197,16 @@ FCSResult fcs_resort_ints(FCS handle, fcs_int* data, fcs_int components,
 
 const char* fcs_last_error(void) { return g_last_error.c_str(); }
 
-FCSResult fcs_destroy(FCS handle) {
-  delete handle;
+FCSResult fcs_get_last_error_message(const char** message) {
+  if (auto r = require(message != nullptr,
+                       "fcs_get_last_error_message: null argument"))
+    return r;
+  *message = g_last_error.c_str();
   return FCS_SUCCESS;
+}
+
+FCSResult fcs_destroy(FCS handle) {
+  return guarded([&] { delete handle; });
 }
 
 }  // extern "C"

@@ -76,6 +76,11 @@ FCSResult fcs_resort_ints(FCS handle, fcs_int* data, fcs_int components,
 /* Last error message of a failed call (thread-local, valid until next call). */
 const char* fcs_last_error(void);
 
+/* ScaFaCoS-style variant of the above: store a pointer to the thread-local
+ * message of the most recent failed call into *message. The pointer is valid
+ * until the next API call on this thread. */
+FCSResult fcs_get_last_error_message(const char** message);
+
 FCSResult fcs_destroy(FCS handle);
 
 #ifdef __cplusplus

@@ -96,6 +96,8 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
 
   fcs::Rng rng = fcs::Rng(cfg.surrogate_seed).stream(
       static_cast<std::uint64_t>(comm.rank()));
+  fcs::Rng rogue_rng = fcs::Rng(cfg.rogue_seed).stream(
+      static_cast<std::uint64_t>(comm.rank()));
 
   for (int step = 1; step <= cfg.steps; ++step) {
     if (o != nullptr) o->set_epoch(step);
@@ -106,6 +108,19 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
       max_move_local = cfg.surrogate_step;
     } else {
       max_move_local = advance_positions(particles, cfg.box, cfg.dt);
+    }
+    if (cfg.rogue_rate > 0.0 && particles.size() > 0 &&
+        rogue_rng.uniform(0.0, 1.0) < cfg.rogue_rate) {
+      // Teleport one particle but keep reporting the old bound: the solver
+      // must catch the broken promise, not us.
+      const std::size_t i = static_cast<std::size_t>(rogue_rng.uniform(
+          0.0, static_cast<double>(particles.size()) - 0.5));
+      const domain::Vec3 lo = cfg.box.offset();
+      const domain::Vec3 ext = cfg.box.extent();
+      particles.pos[i] = {lo.x + rogue_rng.uniform(0.0, 1.0) * ext.x,
+                          lo.y + rogue_rng.uniform(0.0, 1.0) * ext.y,
+                          lo.z + rogue_rng.uniform(0.0, 1.0) * ext.z};
+      obs::count(o, "md.rogue", 1.0);
     }
     const double max_move = comm.allreduce(max_move_local, mpi::OpMax{});
     obs::observe(o, "md.max_move", max_move);

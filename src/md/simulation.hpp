@@ -32,6 +32,14 @@ struct SimulationConfig {
   bool surrogate_motion = false;
   double surrogate_step = 0.0;
   std::uint64_t surrogate_seed = 7;
+  /// Robustness testing: per-rank probability that, each time step, one
+  /// local particle teleports to a uniform random box position WITHOUT
+  /// raising the reported max movement - a deliberate violation of the
+  /// max-movement contract. The solvers must detect it and fall back to the
+  /// dense all-to-all (obs counter "redist.fallback") instead of losing the
+  /// particle. Teleports are counted as "md.rogue".
+  double rogue_rate = 0.0;
+  std::uint64_t rogue_seed = 99;
 };
 
 /// Phase times of one fcs_run, reduced with max over ranks.

@@ -57,6 +57,14 @@ struct OpMin {
 struct OpMax {
   template <class T> T operator()(const T& a, const T& b) const { return a < b ? b : a; }
 };
+/// Bitwise XOR, for order-independent integrity checksums (conservation
+/// validation in src/redist). Integral types only.
+struct OpXor {
+  template <class T> T operator()(const T& a, const T& b) const {
+    static_assert(std::is_integral_v<T>);
+    return a ^ b;
+  }
+};
 
 class Comm;
 

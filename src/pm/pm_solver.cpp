@@ -106,23 +106,36 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
                             img.rank});
   }
 
-  // Method B with max movement (paper Sect. III-B): if every copy goes to
-  // this rank or a direct grid neighbor, point-to-point neighborhood
-  // communication replaces the collective all-to-all.
+  // Method B with max movement (paper Sect. III-B): when the input is in
+  // solver order and the reported bound plus the ghost halo fits within one
+  // subdomain, every copy can only target this rank or a direct grid
+  // neighbor, so point-to-point neighborhood communication replaces the
+  // collective all-to-all.
   const std::vector<int> neighbors = cart.neighbors(1);
-  bool neighborhood_ok =
-      options.input_in_solver_order && options.max_particle_move >= 0.0;
-  if (neighborhood_ok) {
+  const Vec3 sub = grid.subdomain_extent();
+  const double min_ext = std::min({sub.x, sub.y, sub.z});
+  const bool bound_claims_safe =
+      options.input_in_solver_order && options.max_particle_move >= 0.0 &&
+      options.max_particle_move + halo <= min_ext;
+  // Verify the claim against the actual copy targets: a particle that moved
+  // beyond the reported bound may target a non-neighbor rank, and trusting
+  // the bound would strand it. On a violation the step degrades gracefully
+  // to the dense all-to-all (counted as redist.fallback) instead of losing
+  // particles or aborting.
+  bool targets_ok = bound_claims_safe;
+  if (targets_ok) {
     for (const Copy& cp : copies) {
       if (cp.target != comm.rank() &&
           !std::binary_search(neighbors.begin(), neighbors.end(), cp.target)) {
-        neighborhood_ok = false;
+        targets_ok = false;
         break;
       }
     }
   }
-  neighborhood_ok =
-      comm.allreduce(neighborhood_ok ? 1 : 0, mpi::OpMin{}) == 1;
+  if (bound_claims_safe && !targets_ok)
+    obs::count(ctx.obs(), "redist.fallback", 1.0);
+  const bool neighborhood_ok =
+      comm.allreduce(targets_ok ? 1 : 0, mpi::OpMin{}) == 1;
   last_used_neighborhood_ = neighborhood_ok;
 
   std::vector<PmParticle> received;

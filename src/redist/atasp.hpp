@@ -22,6 +22,7 @@
 
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
+#include "redist/conserve.hpp"
 
 namespace redist {
 
@@ -73,6 +74,12 @@ std::vector<T> fine_grained_redistribute(
       kind == ExchangeKind::kDense
           ? comm.alltoallv(packed.data(), send_counts, recv_counts)
           : comm.sparse_alltoallv(packed.data(), send_counts, recv_counts);
+  if (validation_enabled())
+    validate_exchange(
+        comm, "fine_grained_redistribute", packed.size(),
+        content_checksum(packed.data(), packed.size(), sizeof(T)),
+        received.size(),
+        content_checksum(received.data(), received.size(), sizeof(T)));
   if (obs::RankObs* const o = comm.ctx().obs(); o != nullptr) {
     const bool dense = kind == ExchangeKind::kDense;
     const std::size_t self = send_counts[static_cast<std::size_t>(comm.rank())];

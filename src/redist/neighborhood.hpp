@@ -13,6 +13,7 @@
 
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
+#include "redist/conserve.hpp"
 
 namespace redist {
 
@@ -85,6 +86,11 @@ std::vector<T> neighborhood_alltoallv(const mpi::Comm& comm,
       out.insert(out.end(), blk.begin(), blk.end());
     }
   }
+  if (validation_enabled())
+    validate_exchange(comm, "neighborhood_alltoallv", offsets.back(),
+                      content_checksum(data, offsets.back(), sizeof(T)),
+                      out.size(),
+                      content_checksum(out.data(), out.size(), sizeof(T)));
   return out;
 }
 

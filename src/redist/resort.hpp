@@ -128,6 +128,13 @@ std::vector<T> resort_values(const mpi::Comm& comm,
       kind == ExchangeKind::kDense
           ? comm.alltoallv_bytes(packed.data(), send_bytes, recv_bytes)
           : comm.sparse_alltoallv_bytes(packed.data(), send_bytes, recv_bytes);
+  if (validation_enabled())
+    validate_exchange(
+        comm, "resort_values", packed.size() / elem_bytes,
+        content_checksum(packed.data(), packed.size() / elem_bytes, elem_bytes),
+        received.size() / elem_bytes,
+        content_checksum(received.data(), received.size() / elem_bytes,
+                         elem_bytes));
 
   FCS_CHECK(received.size() == n_changed * elem_bytes,
             "resort: expected " << n_changed << " packets, received "

@@ -33,6 +33,7 @@ void RankCtx::send(int dst, std::uint64_t tag, const void* data,
   const EngineConfig& cfg = engine_->config();
   FCS_CHECK(dst >= 0 && dst < cfg.nranks,
             "send to invalid rank " << dst << " of " << cfg.nranks);
+  maybe_stall();
   clock_ += cfg.send_overhead + static_cast<double>(bytes) / cfg.memory_rate +
             cfg.network->injection_time(rank_, dst, bytes);
   if (obs_ != nullptr) {
@@ -47,12 +48,101 @@ void RankCtx::send(int dst, std::uint64_t tag, const void* data,
   m.arrival = clock_ + cfg.network->p2p_time(rank_, dst, bytes);
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
-  engine_->wake_if_waiting(dst, m);
-  engine_->mailbox().deliver(dst, std::move(m));
+  FaultInjector* const fi = engine_->faults();
+  if (fi != nullptr && fi->plan().affects_messages() && dst != rank_) {
+    send_faulty(dst, bytes, std::move(m));
+    return;
+  }
+  engine_->deliver(dst, std::move(m));
+}
+
+void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
+  const EngineConfig& cfg = engine_->config();
+  FaultInjector& fi = *engine_->faults();
+  const double flight = cfg.network->p2p_time(rank_, dst, bytes);
+  const std::uint64_t chan_seq = fi.next_chan_seq(rank_, dst);
+  const std::uint64_t tag = m.tag;
+  m.chan_seq = chan_seq;
+
+  double delay = fi.jitter(rank_, dst, chan_seq, clock_);
+  if (delay > 0.0 && obs_ != nullptr) {
+    obs_->add("sim.fault.delayed", 1.0);
+    obs_->add("sim.fault.delay_s", delay);
+  }
+
+  // Reliable channel: a dropped DATA transmission costs one retransmission
+  // timeout (exponential backoff) plus the re-injection overhead; the
+  // payload is only delivered once, after the drops.
+  int attempt = 0;
+  while (fi.drop_data(rank_, dst, chan_seq, attempt, clock_)) {
+    if (obs_ != nullptr) obs_->add("sim.fault.dropped", 1.0);
+    if (!fi.plan().reliable) {
+      // Fire and forget: the message is lost for good.
+      if (obs_ != nullptr) obs_->add("sim.fault.lost", 1.0);
+      return;
+    }
+    if (obs_ != nullptr) obs_->add("sim.reliable.retransmits", 1.0);
+    delay += fi.rto(attempt);
+    clock_ += cfg.send_overhead +
+              cfg.network->injection_time(rank_, dst, bytes);
+    ++attempt;
+  }
+  m.arrival = clock_ + delay + flight;
+
+  // Spurious network duplication: a second copy trails the original and is
+  // suppressed by the receiver's sequence-number filter.
+  const bool network_dup = fi.duplicate(rank_, dst, chan_seq, clock_);
+  Message dup;
+  if (network_dup) dup = m;  // copy before the payload moves out
+  engine_->deliver(dst, std::move(m));
+  if (network_dup) {
+    if (obs_ != nullptr) obs_->add("sim.fault.duplicated", 1.0);
+    dup.seq = engine_->mailbox().next_seq();
+    dup.arrival += fi.rto(0);
+    engine_->deliver(dst, std::move(dup));
+  }
+
+  // Lost ACKs (reliable mode): the receiver has the DATA, but the sender
+  // times out and retransmits it - another duplicate for the filter - until
+  // an ACK gets through. Each round costs the sender backoff + injection.
+  if (fi.plan().reliable) {
+    int ack_attempt = 0;
+    while (fi.drop_ack(rank_, dst, chan_seq, attempt + ack_attempt, clock_)) {
+      if (obs_ != nullptr) {
+        obs_->add("sim.fault.dropped", 1.0);
+        obs_->add("sim.reliable.retransmits", 1.0);
+      }
+      const double wait = fi.rto(attempt + ack_attempt);
+      delay += wait;
+      clock_ += cfg.send_overhead +
+                cfg.network->injection_time(rank_, dst, bytes);
+      Message retrans;
+      retrans.src = rank_;
+      retrans.tag = tag;
+      retrans.chan_seq = chan_seq;
+      retrans.seq = engine_->mailbox().next_seq();
+      retrans.arrival = clock_ + delay + flight;
+      engine_->deliver(dst, std::move(retrans));
+      ++ack_attempt;
+    }
+  }
+}
+
+void RankCtx::maybe_stall() {
+  FaultInjector* const fi = engine_->faults();
+  if (fi == nullptr) return;
+  const double stall = fi->take_stall(rank_, clock_);
+  if (stall <= 0.0) return;
+  clock_ += stall;
+  if (obs_ != nullptr) {
+    obs_->add("sim.fault.stalls", 1.0);
+    obs_->add("sim.fault.stall_s", stall);
+  }
 }
 
 RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
   const EngineConfig& cfg = engine_->config();
+  maybe_stall();
   for (;;) {
     auto m = engine_->mailbox().try_match(rank_, src, tag);
     if (m.has_value()) {
@@ -86,6 +176,9 @@ Engine::Engine(EngineConfig config)
     : config_(config), mailbox_(config.nranks) {
   FCS_CHECK(config_.nranks >= 1, "engine needs at least one rank");
   FCS_CHECK(config_.network != nullptr, "engine needs a network model");
+  if (config_.fault_plan.active())
+    faults_ = std::make_unique<FaultInjector>(config_.fault_plan,
+                                              config_.nranks);
   contexts_.reserve(static_cast<std::size_t>(config_.nranks));
   for (int r = 0; r < config_.nranks; ++r) contexts_.emplace_back(RankCtx(this, r));
   final_clocks_.resize(static_cast<std::size_t>(config_.nranks), 0.0);
@@ -99,7 +192,13 @@ Engine::Engine(EngineConfig config)
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Ranks abandoned mid-run (deadlock, or a sibling rank's exception) are
+  // still suspended with live objects on their fiber stacks; unwind them so
+  // their destructors run instead of leaking.
+  for (auto& f : fibers_)
+    if (f != nullptr) f->unwind();
+}
 
 void Engine::run(const std::function<void(RankCtx&)>& body) {
   FCS_CHECK(!ran_, "Engine::run may be called only once");
@@ -148,6 +247,18 @@ void Engine::block_current(RankCtx& ctx, int src, std::int64_t tag) {
   Fiber& f = *fibers_[static_cast<std::size_t>(ctx.rank_)];
   f.set_state(Fiber::State::kBlocked);
   f.yield();
+}
+
+bool Engine::deliver(int dst, Message m) {
+  if (faults_ != nullptr && m.chan_seq != 0 &&
+      !faults_->accept(dst, m.src, m.chan_seq)) {
+    obs::count(contexts_[static_cast<std::size_t>(dst)].obs_,
+               "sim.reliable.dup_suppressed", 1.0);
+    return false;
+  }
+  wake_if_waiting(dst, m);
+  mailbox_.deliver(dst, std::move(m));
+  return true;
 }
 
 void Engine::wake_if_waiting(int dst, const Message& m) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sim/fault.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
 
@@ -42,6 +43,10 @@ struct EngineConfig {
   /// and threads one obs::RankObs per rank through RankCtx::obs(). Null
   /// keeps every hook a single pointer check.
   std::shared_ptr<obs::Recorder> recorder;
+  /// Deterministic fault injection (see sim/fault.hpp). An inactive plan
+  /// (the default) keeps the send path fault-free at the cost of one
+  /// pointer check.
+  FaultPlan fault_plan;
 };
 
 /// Handle the rank body uses to talk to the engine. One per rank, valid only
@@ -89,6 +94,12 @@ class RankCtx {
   friend class Engine;
   RankCtx(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
 
+  /// Apply any scheduled stall of this rank that has become due.
+  void maybe_stall();
+  /// Send path under an active fault plan: jitter/drop/duplicate decisions
+  /// plus the reliable retry/ack protocol (see sim/fault.hpp).
+  void send_faulty(int dst, std::size_t bytes, Message m);
+
   Engine* engine_;
   int rank_;
   obs::RankObs* obs_ = nullptr;
@@ -116,16 +127,24 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   Mailbox& mailbox() { return mailbox_; }
+  /// Null unless the configured fault plan is active.
+  FaultInjector* faults() { return faults_.get(); }
 
  private:
   friend class RankCtx;
 
   void block_current(RankCtx& ctx, int src, std::int64_t tag);
   void wake_if_waiting(int dst, const Message& m);
+  /// Deliver a message to dst's mailbox, waking it if it is blocked on a
+  /// match. Under fault injection, duplicate copies (same chan_seq) are
+  /// suppressed here - before matching - so probe-driven loops like the
+  /// NBX drain never observe them. Returns false when suppressed.
+  bool deliver(int dst, Message m);
   [[noreturn]] void report_deadlock();
 
   EngineConfig config_;
   Mailbox mailbox_;
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<RankCtx> contexts_;
   // Runnable min-heap keyed by (clock, push sequence); FIFO among equal

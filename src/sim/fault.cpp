@@ -1,0 +1,146 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sim {
+
+namespace {
+
+double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : def;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;
+  plan.seed = env_u64("FCS_FAULT_SEED", plan.seed);
+  plan.drop_rate = env_double("FCS_FAULT_DROP", plan.drop_rate);
+  plan.duplicate_rate = env_double("FCS_FAULT_DUP", plan.duplicate_rate);
+  plan.jitter_rate = env_double("FCS_FAULT_JITTER", plan.jitter_rate);
+  plan.jitter_max = env_double("FCS_FAULT_JITTER_MAX", plan.jitter_max);
+  plan.window_begin = env_double("FCS_FAULT_BEGIN", plan.window_begin);
+  plan.window_end = env_double("FCS_FAULT_END", plan.window_end);
+  plan.reliable = env_u64("FCS_FAULT_RELIABLE", plan.reliable ? 1 : 0) != 0;
+  plan.rto = env_double("FCS_FAULT_RTO", plan.rto);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks)
+    : plan_(std::move(plan)), ranks_(static_cast<std::size_t>(nranks)) {
+  auto check_rate = [](double r, const char* what) {
+    FCS_CHECK(r >= 0.0 && r <= 1.0,
+              "fault plan: " << what << " rate " << r << " outside [0, 1]");
+  };
+  check_rate(plan_.drop_rate, "drop");
+  check_rate(plan_.duplicate_rate, "duplicate");
+  check_rate(plan_.jitter_rate, "jitter");
+  FCS_CHECK(plan_.jitter_max >= 0.0, "fault plan: negative jitter_max");
+  FCS_CHECK(plan_.rto > 0.0, "fault plan: rto must be positive");
+  for (const FaultPlan::Stall& s : plan_.stalls) {
+    FCS_CHECK(s.rank >= 0 && s.rank < nranks,
+              "fault plan: stall names invalid rank " << s.rank);
+    FCS_CHECK(s.seconds >= 0.0, "fault plan: negative stall duration");
+    ranks_[static_cast<std::size_t>(s.rank)].stalls.push_back(s);
+  }
+  for (PerRank& r : ranks_)
+    std::sort(r.stalls.begin(), r.stalls.end(),
+              [](const FaultPlan::Stall& a, const FaultPlan::Stall& b) {
+                return a.at < b.at;
+              });
+}
+
+std::uint64_t FaultInjector::next_chan_seq(int src, int dst) {
+  return ++ranks_[static_cast<std::size_t>(src)].next_seq_to[dst];
+}
+
+double FaultInjector::u01(std::uint64_t purpose, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c) const {
+  // Chained splitmix64 over (seed, purpose, src, dst, chan_seq/attempt):
+  // a stateless, order-independent counter-mode generator.
+  std::uint64_t s = plan_.seed ^ (purpose * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t h = fcs::splitmix64(s);
+  s ^= a;
+  h ^= fcs::splitmix64(s);
+  s ^= b;
+  h ^= fcs::splitmix64(s);
+  s ^= c;
+  h ^= fcs::splitmix64(s);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::drop_data(int src, int dst, std::uint64_t chan_seq,
+                              int attempt, double now) const {
+  if (plan_.drop_rate <= 0.0 || !in_window(now)) return false;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  return u01(1, key, chan_seq, static_cast<std::uint64_t>(attempt)) <
+         plan_.drop_rate;
+}
+
+bool FaultInjector::drop_ack(int src, int dst, std::uint64_t chan_seq,
+                             int attempt, double now) const {
+  if (plan_.drop_rate <= 0.0 || !in_window(now)) return false;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  return u01(2, key, chan_seq, static_cast<std::uint64_t>(attempt)) <
+         plan_.drop_rate;
+}
+
+bool FaultInjector::duplicate(int src, int dst, std::uint64_t chan_seq,
+                              double now) const {
+  if (plan_.duplicate_rate <= 0.0 || !in_window(now)) return false;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  return u01(3, key, chan_seq, 0) < plan_.duplicate_rate;
+}
+
+double FaultInjector::jitter(int src, int dst, std::uint64_t chan_seq,
+                             double now) const {
+  if (plan_.jitter_rate <= 0.0 || !in_window(now)) return 0.0;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  if (u01(4, key, chan_seq, 0) >= plan_.jitter_rate) return 0.0;
+  return u01(5, key, chan_seq, 0) * plan_.jitter_max;
+}
+
+double FaultInjector::rto(int attempt) const {
+  return plan_.rto * static_cast<double>(1ULL << std::min(attempt, 20));
+}
+
+bool FaultInjector::accept(int dst, int src, std::uint64_t chan_seq) {
+  std::uint64_t& last =
+      ranks_[static_cast<std::size_t>(dst)].last_seq_from[src];
+  // Channel sequence numbers are delivered in increasing order (all copies
+  // of one message are injected back-to-back by the same send call), so a
+  // high-water mark is a complete duplicate filter.
+  if (chan_seq <= last) return false;
+  last = chan_seq;
+  return true;
+}
+
+double FaultInjector::take_stall(int rank, double now) {
+  PerRank& r = ranks_[static_cast<std::size_t>(rank)];
+  double total = 0.0;
+  while (r.next_stall < r.stalls.size() && r.stalls[r.next_stall].at <= now) {
+    total += r.stalls[r.next_stall].seconds;
+    ++r.next_stall;
+  }
+  return total;
+}
+
+}  // namespace sim

@@ -34,6 +34,11 @@ std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   return ps;
 }
+
+/// Marker thrown out of a pending yield() by Fiber::unwind(). Deliberately
+/// not derived from std::exception so rank bodies that catch std::exception
+/// cannot intercept the teardown.
+struct ForcedUnwind {};
 }  // namespace
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
@@ -63,6 +68,7 @@ Fiber::~Fiber() {
 void Fiber::trampoline() {
   Fiber* self = g_starting_fiber;
   g_starting_fiber = nullptr;
+  self->started_ = true;
 #if defined(FCS_ASAN_FIBERS)
   // First entry: restore nothing, but record the scheduler's stack bounds so
   // yields and the final exit can announce switches back to it.
@@ -71,6 +77,8 @@ void Fiber::trampoline() {
 #endif
   try {
     self->body_();
+  } catch (const ForcedUnwind&) {
+    // Teardown requested via unwind(): destructors have run, not an error.
   } catch (...) {
     self->exception_ = std::current_exception();
   }
@@ -113,6 +121,19 @@ void Fiber::yield() {
 #if defined(FCS_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(asan_fiber_fake_stack_, nullptr, nullptr);
 #endif
+  if (unwinding_) throw ForcedUnwind{};
+}
+
+void Fiber::unwind() {
+  if (!started_ || state_ == State::kFinished) return;
+  unwinding_ = true;
+  state_ = State::kRunnable;  // blocked fibers are force-resumed
+  try {
+    resume();
+  } catch (...) {
+    // Called from destructor context; anything a stack destructor throws
+    // during the forced unwind is dropped.
+  }
 }
 
 }  // namespace sim

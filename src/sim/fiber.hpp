@@ -34,6 +34,15 @@ class Fiber {
   /// Called from inside the fiber: switch back to the scheduler.
   void yield();
 
+  /// Force a started-but-unfinished fiber to run its stack destructors: the
+  /// fiber is resumed one last time and its pending yield() throws an
+  /// internal unwind marker that the trampoline swallows. Used by engine
+  /// teardown for ranks abandoned mid-run (deadlock, or a sibling rank's
+  /// exception), which would otherwise leak every object on their stacks.
+  /// No-op for fibers that never started or already finished; exceptions
+  /// thrown by destructors during the unwind are dropped.
+  void unwind();
+
   State state() const { return state_; }
   void set_state(State s) { state_ = s; }
   bool finished() const { return state_ == State::kFinished; }
@@ -52,6 +61,8 @@ class Fiber {
   std::size_t stack_total_ = 0;  // includes guard page
   std::size_t stack_usable_ = 0;
   State state_ = State::kRunnable;
+  bool started_ = false;
+  bool unwinding_ = false;
   std::exception_ptr exception_;
   // AddressSanitizer fiber bookkeeping (see the fiber-switch annotations in
   // fiber.cpp); unused members cost nothing in non-sanitized builds.

@@ -11,12 +11,15 @@ namespace fcs_test {
 
 /// Run `body` across `nranks` simulated ranks on an ideal network and return
 /// the engine makespan. Exceptions from any rank propagate to the caller.
+/// Honors the FCS_FAULT_* env knobs so CI can replay the whole suite under
+/// deterministic fault injection (see .github/workflows/ci.yml).
 inline double run_ranks(int nranks,
                         const std::function<void(mpi::Comm&)>& body,
                         std::shared_ptr<const sim::NetworkModel> net = nullptr) {
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
   if (net) cfg.network = std::move(net);
+  cfg.fault_plan = sim::FaultPlan::from_env();
   return sim::run_spmd(cfg, [&body](sim::RankCtx& ctx) {
     mpi::Comm comm = mpi::Comm::world(ctx);
     body(comm);

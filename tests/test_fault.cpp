@@ -1,0 +1,529 @@
+// Fault injection, the reliable point-to-point channel, conservation
+// validation, and the max-movement fallback (see src/sim/fault.hpp and
+// DESIGN.md "Fault model").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "fcs/fcs_c.h"
+#include "md/simulation.hpp"
+#include "md/system.hpp"
+#include "minimpi/cart.hpp"
+#include "obs/export.hpp"
+#include "pm/pm_solver.hpp"
+#include "redist/atasp.hpp"
+#include "redist/conserve.hpp"
+#include "redist/neighborhood.hpp"
+#include "redist/resort.hpp"
+#include "sim/fault.hpp"
+#include "spmd_test_util.hpp"
+
+namespace {
+
+/// A plan with aggressive message faults; high enough rates that every test
+/// run sees drops, duplicates, and jitter on its handful of messages.
+sim::FaultPlan heavy_faults(std::uint64_t seed) {
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_rate = 0.3;
+  plan.duplicate_rate = 0.15;
+  plan.jitter_rate = 0.2;
+  plan.jitter_max = 2.0e-6;
+  return plan;
+}
+
+/// run_ranks with an explicit fault plan and recorder.
+double run_faulty(int nranks, const sim::FaultPlan& plan,
+                  std::shared_ptr<obs::Recorder> recorder,
+                  const std::function<void(mpi::Comm&)>& body) {
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  cfg.fault_plan = plan;
+  cfg.recorder = std::move(recorder);
+  return sim::run_spmd(cfg, [&body](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    body(comm);
+  });
+}
+
+double counter_sum(const obs::Recorder& rec, const std::string& name) {
+  const auto reduced = rec.reduce_counters();
+  const auto it = reduced.find(name);
+  return it != reduced.end() ? it->second.totals.sum : 0.0;
+}
+
+TEST(FaultPlan, EnvKnobsParse) {
+  setenv("FCS_FAULT_SEED", "42", 1);
+  setenv("FCS_FAULT_DROP", "0.25", 1);
+  setenv("FCS_FAULT_DUP", "0.5", 1);
+  setenv("FCS_FAULT_JITTER", "0.125", 1);
+  setenv("FCS_FAULT_JITTER_MAX", "1e-5", 1);
+  setenv("FCS_FAULT_RELIABLE", "1", 1);
+  const sim::FaultPlan plan = sim::FaultPlan::from_env();
+  unsetenv("FCS_FAULT_SEED");
+  unsetenv("FCS_FAULT_DROP");
+  unsetenv("FCS_FAULT_DUP");
+  unsetenv("FCS_FAULT_JITTER");
+  unsetenv("FCS_FAULT_JITTER_MAX");
+  unsetenv("FCS_FAULT_RELIABLE");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.duplicate_rate, 0.5);
+  EXPECT_DOUBLE_EQ(plan.jitter_rate, 0.125);
+  EXPECT_DOUBLE_EQ(plan.jitter_max, 1e-5);
+  EXPECT_TRUE(plan.reliable);
+  EXPECT_TRUE(plan.active());
+  EXPECT_FALSE(sim::FaultPlan{}.active());
+}
+
+TEST(FaultInjector, DecisionsDependOnSeedOnly) {
+  // Decisions are pure functions of (plan, channel coordinates): two
+  // injectors with the same plan agree on everything; a different seed
+  // disagrees somewhere.
+  sim::FaultInjector a(heavy_faults(7), 4);
+  sim::FaultInjector b(heavy_faults(7), 4);
+  sim::FaultInjector c(heavy_faults(8), 4);
+  int diffs = 0;
+  for (std::uint64_t s = 1; s <= 500; ++s) {
+    ASSERT_EQ(a.drop_data(0, 1, s, 0, 0.0), b.drop_data(0, 1, s, 0, 0.0));
+    ASSERT_EQ(a.duplicate(2, 3, s, 0.0), b.duplicate(2, 3, s, 0.0));
+    ASSERT_DOUBLE_EQ(a.jitter(1, 2, s, 0.0), b.jitter(1, 2, s, 0.0));
+    if (a.drop_data(0, 1, s, 0, 0.0) != c.drop_data(0, 1, s, 0, 0.0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjector, WindowRestrictsFaults) {
+  sim::FaultPlan plan = heavy_faults(3);
+  plan.drop_rate = 1.0;
+  plan.window_begin = 1.0;
+  plan.window_end = 2.0;
+  sim::FaultInjector fi(plan, 2);
+  EXPECT_FALSE(fi.drop_data(0, 1, 1, 0, 0.5));   // before the window
+  EXPECT_TRUE(fi.drop_data(0, 1, 1, 0, 1.5));    // inside
+  EXPECT_FALSE(fi.drop_data(0, 1, 1, 0, 2.5));   // after
+}
+
+TEST(FaultInjector, DuplicateFilterIsHighWaterMark) {
+  sim::FaultInjector fi(heavy_faults(1), 2);
+  EXPECT_TRUE(fi.accept(1, 0, 1));
+  EXPECT_FALSE(fi.accept(1, 0, 1));  // duplicate
+  EXPECT_TRUE(fi.accept(1, 0, 2));
+  EXPECT_FALSE(fi.accept(1, 0, 1));  // late retransmit
+  EXPECT_TRUE(fi.accept(0, 1, 1));   // independent channel
+}
+
+TEST(ReliableP2p, RingExchangeSurvivesHeavyDrops) {
+  auto rec = std::make_shared<obs::Recorder>(false);
+  run_faulty(8, heavy_faults(11), rec, [](mpi::Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int round = 0; round < 20; ++round) {
+      const std::uint64_t payload =
+          static_cast<std::uint64_t>(c.rank()) * 1000 + round;
+      c.send(&payload, 1, next, round);
+      std::uint64_t got = 0;
+      c.recv(&got, 1, prev, round);
+      EXPECT_EQ(got, static_cast<std::uint64_t>(prev) * 1000 + round);
+    }
+  });
+  // With drop 0.3 over 8 ranks x 20 rounds, retransmits are certain.
+  EXPECT_GT(counter_sum(*rec, "sim.reliable.retransmits"), 0.0);
+  EXPECT_GT(counter_sum(*rec, "sim.fault.dropped"), 0.0);
+  EXPECT_GT(counter_sum(*rec, "sim.fault.duplicated"), 0.0);
+  EXPECT_EQ(counter_sum(*rec, "sim.fault.lost"), 0.0);
+  // Every spurious duplicate was suppressed by the receiver filter.
+  EXPECT_GE(counter_sum(*rec, "sim.reliable.dup_suppressed"),
+            counter_sum(*rec, "sim.fault.duplicated"));
+}
+
+TEST(ReliableP2p, UnreliableModeLosesMessagesAndDeadlocks) {
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_rate = 1.0;  // every message transmission fails
+  plan.reliable = false;
+  EXPECT_THROW(run_faulty(2, plan, nullptr,
+                          [](mpi::Comm& c) {
+                            int x = c.rank();
+                            if (c.rank() == 0) {
+                              c.send(&x, 1, 1, 0);
+                            } else {
+                              c.recv(&x, 1, 0, 0);
+                            }
+                          }),
+               fcs::Error);
+}
+
+TEST(ReliableP2p, CollectivesSurviveDrops) {
+  run_faulty(8, heavy_faults(17), nullptr, [](mpi::Comm& c) {
+    const int p = c.size();
+    const int r = c.rank();
+
+    c.barrier();
+
+    int root_val = r == 2 ? 1234 : 0;
+    c.bcast(&root_val, 1, 2);
+    EXPECT_EQ(root_val, 1234);
+
+    EXPECT_EQ(c.allreduce(r + 1, mpi::OpSum{}), p * (p + 1) / 2);
+    EXPECT_EQ(c.allreduce(std::uint64_t{1} << r, mpi::OpXor{}),
+              (std::uint64_t{1} << p) - 1);
+
+    // allgatherv with rank-dependent counts.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) counts[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(i + 1);
+    std::vector<int> mine(static_cast<std::size_t>(r + 1), r);
+    std::size_t total = 0;
+    for (std::size_t n : counts) total += n;
+    std::vector<int> all(total);
+    c.allgatherv(mine.data(), counts, all.data());
+    std::size_t off = 0;
+    for (int src = 0; src < p; ++src)
+      for (int k = 0; k <= src; ++k) EXPECT_EQ(all[off++], src);
+
+    // Dense and sparse alltoallv round-trips.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), 1);
+    std::vector<int> payload(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      payload[static_cast<std::size_t>(d)] = r * 100 + d;
+    std::vector<std::size_t> rc;
+    const std::vector<int> dense = c.alltoallv(payload.data(), send_counts, rc);
+    ASSERT_EQ(dense.size(), static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src)
+      EXPECT_EQ(dense[static_cast<std::size_t>(src)], src * 100 + r);
+    const std::vector<int> sparse =
+        c.sparse_alltoallv(payload.data(), send_counts, rc);
+    ASSERT_EQ(sparse.size(), static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src)
+      EXPECT_EQ(sparse[static_cast<std::size_t>(src)], src * 100 + r);
+  });
+}
+
+TEST(Conservation, RedistributionPathsConserveUnderFaults) {
+  redist::set_validation(1);
+  run_faulty(8, heavy_faults(23), nullptr, [](mpi::Comm& c) {
+    const int p = c.size();
+    const int r = c.rank();
+
+    // Both fine-grained backends, including ghost duplication.
+    std::vector<std::uint64_t> items(64);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = static_cast<std::uint64_t>(r) * 1000 + i;
+    for (const auto kind :
+         {redist::ExchangeKind::kDense, redist::ExchangeKind::kSparse}) {
+      const std::vector<std::uint64_t> got = redist::fine_grained_redistribute(
+          c, items,
+          [p](std::uint64_t v, std::size_t, std::vector<int>& t) {
+            t.push_back(static_cast<int>(v % static_cast<std::uint64_t>(p)));
+            if (v % 7 == 0)  // ghost copy to the next rank
+              t.push_back(static_cast<int>((v + 1) % static_cast<std::uint64_t>(p)));
+          },
+          kind);
+      // The conservation check inside validated count + content already;
+      // sanity-check the local arithmetic too.
+      for (std::uint64_t v : got)
+        EXPECT_TRUE(v % static_cast<std::uint64_t>(p) ==
+                        static_cast<std::uint64_t>(r) ||
+                    (v + 1) % static_cast<std::uint64_t>(p) ==
+                        static_cast<std::uint64_t>(r));
+    }
+
+    // Neighborhood exchange on a 2x2x2 grid (every other rank is a
+    // neighbor, so all counts are legal).
+    mpi::CartComm cart(c, {2, 2, 2}, {true, true, true});
+    const std::vector<int> neighbors = cart.neighbors(1);
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), 0);
+    std::vector<double> data;
+    for (int n : neighbors) {
+      send_counts[static_cast<std::size_t>(n)] = 2;
+    }
+    send_counts[static_cast<std::size_t>(r)] = 1;
+    // destination-major packing: self block sits at its rank offset.
+    for (int d = 0; d < p; ++d)
+      for (std::size_t k = 0; k < send_counts[static_cast<std::size_t>(d)]; ++k)
+        data.push_back(r * 100.0 + d);
+    std::vector<std::size_t> rcounts;
+    const std::vector<double> got = redist::neighborhood_alltoallv(
+        c, neighbors, data.data(), send_counts, rcounts);
+    std::size_t expect_total = 1;
+    for (int n : neighbors) {
+      (void)n;
+      expect_total += 2;
+    }
+    EXPECT_EQ(got.size(), expect_total);
+    for (double v : got) {
+      const int src = static_cast<int>(v / 100.0);
+      EXPECT_EQ(static_cast<int>(v) - src * 100, r);
+    }
+
+    // resort_values through the byte-packed path.
+    const std::size_t n = 16;
+    std::vector<std::uint64_t> resort_idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // send original particle i to rank (r+1)%p, position i
+      resort_idx[i] = redist::make_index((r + 1) % p, i);
+    }
+    std::vector<double> values(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i) values[i] = r + 0.001 * i;
+    const std::vector<double> moved = redist::resort_values(
+        c, resort_idx, values, 2, n, redist::ExchangeKind::kDense);
+    const int prev = (r + p - 1) % p;
+    ASSERT_EQ(moved.size(), 2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+      EXPECT_DOUBLE_EQ(moved[i], prev + 0.001 * static_cast<double>(i));
+  });
+  redist::set_validation(-1);
+}
+
+TEST(Conservation, ValidationDetectsLostMessages) {
+  // Unreliable mode with a late fault window: the sparse exchange loses
+  // payload messages after NBX's counting barrier, and the conservation
+  // check turns the silent loss into a diagnosed error.
+  redist::set_validation(1);
+  sim::FaultPlan plan;
+  plan.seed = 2;
+  plan.drop_rate = 0.5;
+  plan.reliable = false;
+  try {
+    run_faulty(4, plan, nullptr, [](mpi::Comm& c) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(c.size()), 4);
+      std::vector<int> data(4 * static_cast<std::size_t>(c.size()), c.rank());
+      std::vector<std::size_t> rc;
+      (void)c.alltoallv(data.data(), counts, rc);
+    });
+    FAIL() << "expected fcs::Error (conservation violation or deadlock)";
+  } catch (const fcs::Error&) {
+    // Either a conservation diagnosis or a deadlock report is acceptable -
+    // both beat silent corruption.
+  }
+  redist::set_validation(-1);
+}
+
+TEST(FaultDeterminism, SameSeedByteIdenticalMetrics) {
+  const auto run_once = [](std::uint64_t seed) {
+    auto rec = std::make_shared<obs::Recorder>(/*record_spans=*/true);
+    const double makespan =
+        run_faulty(6, heavy_faults(seed), rec, [](mpi::Comm& c) {
+          for (int round = 0; round < 5; ++round) {
+            (void)c.allreduce(c.rank() + round, mpi::OpSum{});
+            std::vector<std::size_t> counts(
+                static_cast<std::size_t>(c.size()), 2);
+            std::vector<int> data(2 * static_cast<std::size_t>(c.size()),
+                                  c.rank());
+            std::vector<std::size_t> rc;
+            (void)c.sparse_alltoallv(data.data(), counts, rc);
+          }
+        });
+    std::ostringstream metrics, trace;
+    obs::write_metrics_json(metrics, {{"fault-run", makespan, rec.get()}});
+    obs::write_chrome_trace(trace, {{"fault-run", rec.get()}});
+    return std::make_tuple(metrics.str(), trace.str(),
+                           counter_sum(*rec, "sim.reliable.retransmits"));
+  };
+
+  const auto [metrics1, trace1, retries1] = run_once(1001);
+  const auto [metrics2, trace2, retries2] = run_once(1001);
+  const auto [metrics3, trace3, retries3] = run_once(2002);
+  EXPECT_GT(retries1, 0.0);
+  // Same seed: byte-identical observable behavior.
+  EXPECT_EQ(metrics1, metrics2);
+  EXPECT_EQ(trace1, trace2);
+  // Different seed: different fault decisions, visible in the counters.
+  EXPECT_NE(retries1, retries3);
+  EXPECT_NE(metrics1, metrics3);
+}
+
+TEST(FaultStall, ScheduledStallDelaysRank) {
+  sim::FaultPlan plan;
+  plan.stalls.push_back({1, 0.0, 0.25});
+  auto rec = std::make_shared<obs::Recorder>(false);
+  const double makespan = run_faulty(2, plan, rec, [](mpi::Comm& c) {
+    int x = c.rank();
+    if (c.rank() == 0) {
+      c.send(&x, 1, 1, 7);
+      c.recv(&x, 1, 1, 7);
+      EXPECT_EQ(x, 1);
+    } else {
+      c.recv(&x, 1, 0, 7);
+      EXPECT_EQ(x, 0);
+      x = c.rank();
+      c.send(&x, 1, 0, 7);
+    }
+  });
+  EXPECT_GE(makespan, 0.25);
+  EXPECT_DOUBLE_EQ(counter_sum(*rec, "sim.fault.stall_s"), 0.25);
+}
+
+TEST(MaxMovementFallback, BoundViolationFallsBackToDenseAlltoall) {
+  // Method B + max movement with a rogue particle teleporting beyond the
+  // reported bound every step: the PM solver must detect the violation,
+  // count redist.fallback, and use the dense all-to-all - conserving every
+  // particle (validated globally) instead of losing the rogue.
+  redist::set_validation(1);
+  auto rec = std::make_shared<obs::Recorder>(false);
+
+  // 16 ranks -> 4x2x2 grid: the x axis has non-neighbor rank pairs, so a
+  // teleport can actually violate the neighborhood claim (on 2x2x2 every
+  // rank is a neighbor and no violation is possible).
+  sim::EngineConfig cfg;
+  cfg.nranks = 16;
+  cfg.stack_bytes = 512 * 1024;
+  cfg.recorder = rec;
+  sim::Engine engine(cfg);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    md::SystemConfig sys;
+    sys.box = domain::Box({0, 0, 0}, {16, 16, 16}, {true, true, true});
+    sys.n_global = 512;
+    md::LocalParticles particles = md::generate_system(comm, sys);
+    fcs::Fcs handle(comm, "pm");
+    handle.set_common(sys.box);
+    handle.set_accuracy(1e-3);
+    auto& pm_solver = dynamic_cast<pm::PmSolver&>(handle.solver());
+    pm_solver.set_cutoff(1.5);
+    pm_solver.set_mesh(16);
+
+    md::SimulationConfig mcfg;
+    mcfg.box = sys.box;
+    mcfg.steps = 4;
+    mcfg.resort = true;
+    mcfg.exploit_max_movement = true;
+    mcfg.modeled_compute = true;
+    mcfg.surrogate_motion = true;
+    mcfg.surrogate_step = 0.05;  // tiny honest movement
+    mcfg.rogue_rate = 1.0;       // ... plus one teleport per rank per step
+    const md::SimulationResult res =
+        md::run_simulation(comm, handle, particles, mcfg);
+    EXPECT_EQ(res.step_times.size(), 5u);
+    for (bool resorted : res.resorted) EXPECT_TRUE(resorted);
+  });
+
+  // At least one step detected the broken bound and fell back.
+  EXPECT_GT(counter_sum(*rec, "redist.fallback"), 0.0);
+  EXPECT_GT(counter_sum(*rec, "md.rogue"), 0.0);
+  // The dense path actually ran after the first step (alltoallv traffic).
+  EXPECT_GT(counter_sum(*rec, "redist.dense.calls"), 0.0);
+  // Conservation checks all passed (they throw on violation).
+  EXPECT_GT(counter_sum(*rec, "fcs.validate.checks"), 0.0);
+  redist::set_validation(-1);
+}
+
+TEST(MaxMovementFallback, HonestBoundStillUsesNeighborhood) {
+  // Control: without the rogue, the same configuration keeps the
+  // neighborhood path after the first step (no fallback).
+  auto rec = std::make_shared<obs::Recorder>(false);
+  sim::EngineConfig cfg;
+  cfg.nranks = 16;
+  cfg.stack_bytes = 512 * 1024;
+  cfg.recorder = rec;
+  sim::Engine engine(cfg);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    md::SystemConfig sys;
+    sys.box = domain::Box({0, 0, 0}, {16, 16, 16}, {true, true, true});
+    sys.n_global = 512;
+    md::LocalParticles particles = md::generate_system(comm, sys);
+    fcs::Fcs handle(comm, "pm");
+    handle.set_common(sys.box);
+    handle.set_accuracy(1e-3);
+    auto& pm_solver = dynamic_cast<pm::PmSolver&>(handle.solver());
+    pm_solver.set_cutoff(1.5);
+    pm_solver.set_mesh(16);
+
+    md::SimulationConfig mcfg;
+    mcfg.box = sys.box;
+    mcfg.steps = 4;
+    mcfg.resort = true;
+    mcfg.exploit_max_movement = true;
+    mcfg.modeled_compute = true;
+    mcfg.surrogate_motion = true;
+    mcfg.surrogate_step = 0.05;
+    (void)md::run_simulation(comm, handle, particles, mcfg);
+  });
+  EXPECT_EQ(counter_sum(*rec, "redist.fallback"), 0.0);
+  EXPECT_GT(counter_sum(*rec, "redist.neighborhood.calls"), 0.0);
+}
+
+TEST(EngineTeardown, AbandonedRanksUnwindTheirStacks) {
+  // When one rank throws, siblings blocked in recv are abandoned mid-fiber.
+  // Engine teardown must unwind them so destructors on their stacks run
+  // (otherwise every Comm, buffer, and RAII guard they hold leaks).
+  static int destroyed = 0;
+  struct Sentinel {
+    ~Sentinel() { ++destroyed; }
+  };
+  destroyed = 0;
+  try {
+    fcs_test::run_ranks(2, [](mpi::Comm& c) {
+      if (c.rank() == 1) {
+        Sentinel s;
+        int x = 1;
+        c.send(&x, 1, 0, 0);
+        c.recv(&x, 1, 0, 1);  // never satisfied: rank 0 throws instead
+      } else {
+        int x = 0;
+        c.recv(&x, 1, 1, 0);
+        throw fcs::Error("simulated rank failure");
+      }
+    });
+    FAIL() << "expected the rank-0 error to propagate";
+  } catch (const fcs::Error&) {
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(CApiRobustness, NoExceptionEscapesTheCBoundary) {
+  fcs_test::run_ranks(2, [](mpi::Comm& c) {
+    // Unknown method: fcs::Error -> FCS_ERROR_LOGICAL, message retrievable.
+    FCS bad = nullptr;
+    EXPECT_EQ(fcs_init(&bad, "no-such-method", &c), FCS_ERROR_LOGICAL);
+    const char* message = nullptr;
+    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    ASSERT_NE(message, nullptr);
+    EXPECT_NE(std::string(message).find("no-such-method"), std::string::npos);
+
+    // Argument validation without touching C++ internals.
+    EXPECT_EQ(fcs_init(nullptr, "pm", &c), FCS_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(fcs_init(&bad, "", &c), FCS_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(fcs_set_resort(nullptr, 1), FCS_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(fcs_set_max_particle_move(nullptr, 0.1),
+              FCS_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(fcs_get_resort_availability(nullptr, nullptr),
+              FCS_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(fcs_get_last_error_message(nullptr),
+              FCS_ERROR_INVALID_ARGUMENT);
+
+    // A real handle: every failure path must come back as a code.
+    FCS handle = nullptr;
+    ASSERT_EQ(fcs_init(&handle, "pm", &c), FCS_SUCCESS);
+    const double nan = std::nan("");
+    EXPECT_EQ(fcs_set_max_particle_move(handle, nan),
+              FCS_ERROR_INVALID_ARGUMENT);
+
+    // fcs_run without fcs_set_common/tune: an internal FCS_CHECK fires and
+    // must surface as a result code, not an exception.
+    fcs_int n_local = 0;
+    fcs_float pos[3] = {0, 0, 0};
+    fcs_float q[1] = {0};
+    fcs_float phi[1] = {0};
+    fcs_float field[3] = {0, 0, 0};
+    const FCSResult rr =
+        fcs_run(handle, &n_local, 1, pos, q, phi, field);
+    EXPECT_EQ(rr, FCS_ERROR_LOGICAL);
+    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    EXPECT_NE(message[0], '\0');
+
+    // resort before any resorting run: logical error, not an exception.
+    fcs_float data[3] = {1, 2, 3};
+    EXPECT_EQ(fcs_resort_floats(handle, data, 1, 3), FCS_ERROR_LOGICAL);
+
+    EXPECT_EQ(fcs_destroy(handle), FCS_SUCCESS);
+    EXPECT_EQ(fcs_destroy(nullptr), FCS_SUCCESS);
+  });
+}
+
+}  // namespace

@@ -230,6 +230,149 @@ TEST(RedistErrors, DistributionToInvalidRankThrows) {
       fcs::Error);
 }
 
+/// Run `body` on `nranks` ranks, expect an fcs::Error whose message contains
+/// `substring` - the error paths must stay diagnosable, not just throwing.
+void expect_error_containing(int nranks,
+                             const std::function<void(mpi::Comm&)>& body,
+                             const std::string& substring) {
+  try {
+    run_ranks(nranks, body);
+    FAIL() << "expected fcs::Error containing \"" << substring << "\"";
+  } catch (const fcs::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(substring), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(RedistErrors, InvertRejectsDuplicateOriginPosition) {
+  // Two current elements claim the same origin slot: a broken origin
+  // labeling that the inversion must diagnose instead of silently dropping
+  // one of the particles.
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        std::vector<std::uint64_t> origin_of_current =
+            c.rank() == 0 ? std::vector<std::uint64_t>{redist::make_index(0, 0),
+                                                       redist::make_index(0, 0)}
+                          : std::vector<std::uint64_t>{};
+        redist::invert_origin_indices(c, origin_of_current,
+                                      c.rank() == 0 ? 2 : 0,
+                                      ExchangeKind::kDense);
+      },
+      "duplicate origin position");
+}
+
+TEST(RedistErrors, InvertRejectsOutOfRangeOriginPosition) {
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        // Rank 0 holds one element whose origin names position 7 of a
+        // 1-element original array.
+        std::vector<std::uint64_t> origin_of_current =
+            c.rank() == 0 ? std::vector<std::uint64_t>{redist::make_index(0, 7)}
+                          : std::vector<std::uint64_t>{};
+        redist::invert_origin_indices(c, origin_of_current,
+                                      c.rank() == 0 ? 1 : 0,
+                                      ExchangeKind::kDense);
+      },
+      "origin position out of range");
+}
+
+TEST(RedistErrors, InvertRejectsCountMismatch) {
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        // Rank 0 expects 3 originals but only 1 index arrives globally.
+        std::vector<std::uint64_t> origin_of_current =
+            c.rank() == 0 ? std::vector<std::uint64_t>{redist::make_index(0, 0)}
+                          : std::vector<std::uint64_t>{};
+        redist::invert_origin_indices(c, origin_of_current,
+                                      c.rank() == 0 ? 3 : 0,
+                                      ExchangeKind::kDense);
+      },
+      "expected 3 indices");
+}
+
+TEST(RedistErrors, ResortRejectsDuplicateTargetPosition) {
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        // Both of rank 0's resort indices name (rank 1, position 0).
+        std::vector<std::uint64_t> resort =
+            c.rank() == 0 ? std::vector<std::uint64_t>{redist::make_index(1, 0),
+                                                       redist::make_index(1, 0)}
+                          : std::vector<std::uint64_t>{};
+        std::vector<double> data(resort.size());
+        redist::resort_values(c, resort, data, 1, c.rank() == 1 ? 2 : 0,
+                              ExchangeKind::kDense);
+      },
+      "duplicate packet for position");
+}
+
+TEST(RedistErrors, ResortRejectsOutOfRangeTargetPosition) {
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        std::vector<std::uint64_t> resort =
+            c.rank() == 0 ? std::vector<std::uint64_t>{redist::make_index(1, 5)}
+                          : std::vector<std::uint64_t>{};
+        std::vector<double> data(resort.size());
+        redist::resort_values(c, resort, data, 1, c.rank() == 1 ? 1 : 0,
+                              ExchangeKind::kDense);
+      },
+      "out of range");
+}
+
+TEST(RedistErrors, ResortRejectsInvalidTargetRank) {
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        std::vector<std::uint64_t> resort = {redist::make_index(9, 0)};
+        std::vector<double> data(1);
+        redist::resort_values(c, resort, data, 1, 1, ExchangeKind::kDense);
+      },
+      "invalid rank");
+}
+
+TEST(Neighborhood, RejectsInvalidNeighborRank) {
+  // Neighbor lists naming out-of-range ranks or self are caller bugs that
+  // must be diagnosed up front, before any message is posted.
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        std::vector<int> neighbors = {5};  // outside the communicator
+        std::vector<std::size_t> counts(2, 0);
+        std::vector<int> data;
+        std::vector<std::size_t> rc;
+        redist::neighborhood_alltoallv(c, neighbors, data.data(), counts, rc);
+      },
+      "invalid neighbor rank");
+  expect_error_containing(
+      2,
+      [](mpi::Comm& c) {
+        std::vector<int> neighbors = {c.rank()};  // self is not a neighbor
+        std::vector<std::size_t> counts(2, 0);
+        std::vector<int> data;
+        std::vector<std::size_t> rc;
+        redist::neighborhood_alltoallv(c, neighbors, data.data(), counts, rc);
+      },
+      "invalid neighbor rank");
+}
+
+TEST(Neighborhood, NonNeighborMessageNamesTheRank) {
+  expect_error_containing(
+      4,
+      [](mpi::Comm& c) {
+        std::vector<int> neighbors = {(c.rank() + 1) % 4};
+        std::vector<std::size_t> counts(4, 0);
+        counts[static_cast<std::size_t>((c.rank() + 2) % 4)] = 1;
+        std::vector<int> data = {7};
+        std::vector<std::size_t> rc;
+        redist::neighborhood_alltoallv(c, neighbors, data.data(), counts, rc);
+      },
+      "data for non-neighbor rank");
+}
+
 TEST(Neighborhood, ExchangesOnlyWithNeighbors) {
   run_ranks(8, [](mpi::Comm& c) {
     mpi::CartComm cart(c, {2, 2, 2}, {true, true, true});
