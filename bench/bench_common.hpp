@@ -20,9 +20,15 @@
 //                 Perfetto) with one process per run, one track per rank
 //   FIG_METRICS - write a metrics JSON with cross-rank min/mean/max/sum of
 //                 every counter (totals and per-time-step) + histograms
+//   BENCH_JSON  - directory; each harness additionally writes a
+//                 machine-readable BENCH_<figure>.json with per-series
+//                 virtual-time totals and per-step series (byte-identical
+//                 across repeated runs - CI asserts on these files)
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -88,6 +94,51 @@ struct SimOutcome {
   md::SimulationResult result;
   double makespan = 0.0;
 };
+
+/// One data series of a figure, for the machine-readable JSON export.
+struct Series {
+  std::string name;                // e.g. "switched-fmm-incremental"
+  double total_time = 0.0;         // engine makespan (virtual seconds)
+  std::vector<double> per_step;    // per solver execution: total phase time
+  std::vector<double> imbalance;   // optional: compute imbalance max/mean
+};
+
+/// Shortest round-trip decimal representation (deterministic; values here
+/// are finite virtual times and ratios, never nan/inf).
+inline std::string bench_json_number(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  FCS_ASSERT(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+/// When BENCH_JSON names a directory, write BENCH_<figure>.json there:
+/// {"figure":...,"series":[{"name","total_time","per_step","imbalance"},..]}.
+/// No-op when the variable is unset. Output is byte-identical across runs
+/// of the same configuration (std::to_chars, fixed series order).
+inline void write_bench_json(const std::string& figure,
+                             const std::vector<Series>& series) {
+  const char* dir = std::getenv("BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + figure + ".json";
+  std::ofstream os(path);
+  FCS_CHECK(os.good(), "cannot open " << path << " for writing");
+  os << "{\"figure\":\"" << figure << "\",\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "{\"name\":\"" << s.name << "\",\"total_time\":"
+       << bench_json_number(s.total_time) << ",\"per_step\":[";
+    for (std::size_t j = 0; j < s.per_step.size(); ++j)
+      os << (j == 0 ? "" : ",") << bench_json_number(s.per_step[j]);
+    os << "],\"imbalance\":[";
+    for (std::size_t j = 0; j < s.imbalance.size(); ++j)
+      os << (j == 0 ? "" : ",") << bench_json_number(s.imbalance[j]);
+    os << "]}";
+  }
+  os << "\n]}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Process-wide trace/metrics sink, configured from FIG_TRACE / FIG_METRICS.
 /// Files are written when the static session is destroyed at process exit.

@@ -45,6 +45,8 @@ int main() {
                 faults.drop_rate, faults.duplicate_rate, faults.jitter_rate,
                 rogue);
 
+  std::vector<bench::Series> json_series;
+  static const char* kVariantNames[] = {"A", "B", "Bm", "Bmf"};
   for (const char* solver : {"fmm", "pm"}) {
     std::vector<std::string> columns = {"step",    "A_sort", "A_restore",
                                         "A_total", "B_sort", "B_resort",
@@ -73,6 +75,13 @@ int main() {
           nranks, bench::juropa_like(), sys, solver, cfg, 256, {},
           variant == 3 ? &faults : nullptr);
       res[static_cast<std::size_t>(variant)] = std::move(out.result);
+      const auto& r = res[static_cast<std::size_t>(variant)];
+      bench::Series s;
+      s.name = std::string(solver) + "-" + kVariantNames[variant];
+      s.total_time = out.makespan;
+      for (const auto& t : r.step_times) s.per_step.push_back(t.total);
+      s.imbalance = r.compute_imbalance;
+      json_series.push_back(std::move(s));
     }
     for (int s = 0; s <= steps; ++s) {
       const auto& a = res[0].step_times.at(static_cast<std::size_t>(s));
@@ -98,5 +107,6 @@ int main() {
     table.print(oss);
     std::fputs(oss.str().c_str(), stdout);
   }
+  bench::write_bench_json("fig7", json_series);
   return 0;
 }

@@ -29,6 +29,7 @@ int main() {
               "(virtual seconds)\n",
               steps, nranks, n, drift_step);
 
+  std::vector<bench::Series> json_series;
   for (const char* solver : {"fmm", "pm"}) {
     // The solver-matching layout: Z-curve segments for the FMM, the process
     // grid for the PM solver (see DESIGN.md).
@@ -49,6 +50,13 @@ int main() {
       bench::SimOutcome out = bench::run_configuration(
           nranks, bench::juropa_like(), sys, solver, cfg);
       (variant == 0 ? res_a : res_b) = std::move(out.result);
+      const auto& r = variant == 0 ? res_a : res_b;
+      bench::Series s;
+      s.name = std::string(solver) + (variant == 0 ? "-A" : "-B");
+      s.total_time = out.makespan;
+      for (const auto& t : r.step_times) s.per_step.push_back(t.total);
+      s.imbalance = r.compute_imbalance;
+      json_series.push_back(std::move(s));
     }
     fcs::Table table({"step", "A_sort+restore", "A_total", "B_sort+resort",
                       "B_total"});
@@ -85,5 +93,6 @@ int main() {
                 share(res_b.step_times, 1, m / 5, false),
                 share(res_b.step_times, 4 * m / 5, m, false));
   }
+  bench::write_bench_json("fig8", json_series);
   return 0;
 }

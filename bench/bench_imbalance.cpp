@@ -1,0 +1,121 @@
+// Load-balancing benchmark: a clustered, drifting particle system (Gaussian
+// hotspots sliding across the periodic box) run with three decomposition
+// strategies on both machine models:
+//
+//   static      - the solver's decomposition is planned once for a uniform
+//                 load and never adapted; the hotspots pile work onto a few
+//                 ranks and the compute imbalance max/mean grows with drift.
+//   full        - cost-driven weighted repartitioning (src/lb), but every
+//                 rebalance uses the full parallel sort partition
+//                 (incremental_max_fraction = 0 forces the migrate fallback).
+//   incremental - the same cost model and weighted splitters, but boundary
+//                 shifts below the migration budget move point-to-point
+//                 through the sparse ATASP instead of the full repartition.
+//
+// Expected shape: both LB series converge the imbalance ratio below the
+// trigger and beat static on total virtual time at scale; incremental beats
+// full on the redistribution share because most epochs move only boundary
+// particles. Environment:
+//
+//   FIG_RANKS   - rank count (default 64)
+//   FIG_N       - global particle count (default 110592)
+//   IMB_STEPS   - time steps (default 24)
+//   IMB_TRIGGER - imbalance trigger ratio (default 1.25)
+//   IMB_MOTION  - random surrogate step length (default 0.5); the noise
+//                 floor of the converged imbalance tracks this knob
+//   IMB_FRACTION - incremental strategy's mover budget (default 0.5);
+//                  plans moving more than this fraction fall back to the
+//                  full repartition
+//   BENCH_JSON  - write BENCH_imbalance.json (totals + per-step imbalance)
+#include "bench_common.hpp"
+
+int main() {
+  const int nranks = static_cast<int>(bench::env_size("FIG_RANKS", 64));
+  const std::size_t n = bench::env_size("FIG_N", 110592);
+  const int steps = static_cast<int>(bench::env_size("IMB_STEPS", 24));
+  const double trigger = bench::env_double("IMB_TRIGGER", 1.25);
+  const double motion = bench::env_double("IMB_MOTION", 0.5);
+  const double fraction = bench::env_double("IMB_FRACTION", 0.5);
+
+  std::printf("Imbalance: clustered drifting system, %d ranks, %zu "
+              "particles, %d steps, trigger %.2f (virtual seconds)\n",
+              nranks, n, steps, trigger);
+
+  struct Strategy {
+    const char* name;
+    bool lb;
+    double max_fraction;  // 0 forces the full repartition every rebalance
+  };
+  const Strategy strategies[] = {
+      {"static", false, 0.0},
+      {"full", true, 0.0},
+      {"incremental", true, fraction},
+  };
+
+  std::vector<bench::Series> json_series;
+  for (const char* netname : {"switched", "torus"}) {
+    const bool torus = std::string(netname) == "torus";
+    for (const char* solver : {"fmm", "pm"}) {
+      fcs::Table table({"strategy", "total", "redist", "imb_first",
+                        "imb_last", "imb_max"});
+      for (const Strategy& st : strategies) {
+        md::SystemConfig sys =
+            bench::paper_system(n, md::InitialDistribution::kClustered);
+        sys.cluster_count = 8;
+        sys.cluster_sigma = 0.05;
+        md::SimulationConfig cfg;
+        cfg.box = sys.box;
+        cfg.steps = steps;
+        cfg.resort = true;
+        cfg.exploit_max_movement = true;
+        cfg.modeled_compute = true;
+        cfg.surrogate_motion = true;
+        cfg.surrogate_step = motion;
+        // The hotspot pattern slides along x: one subdomain width over the
+        // whole run, so a static decomposition's peaks wander between ranks.
+        const std::vector<int> dims = mpi::dims_create(nranks, 3);
+        cfg.surrogate_drift = {248.0 / dims[0] / steps, 0.0, 0.0};
+        cfg.lb.enabled = st.lb;
+        cfg.lb.imbalance_trigger = trigger;
+        cfg.lb.incremental_max_fraction = st.max_fraction;
+        const std::string label = std::string(netname) + "-" + solver + "-" +
+                                  st.name;
+        bench::SimOutcome out = bench::run_configuration(
+            nranks,
+            torus ? bench::juqueen_like(nranks) : bench::juropa_like(), sys,
+            solver, cfg, 256, label);
+        const md::SimulationResult& r = out.result;
+        double redist = 0.0;
+        for (const auto& t : r.step_times) redist += t.sort + t.resort;
+        const auto& imb = r.compute_imbalance;
+        double imb_max = 0.0;
+        for (double v : imb) imb_max = std::max(imb_max, v);
+        table.begin_row()
+            .col(st.name)
+            .col(out.makespan, 4)
+            .col(redist, 4)
+            .col(imb.front(), 3)
+            .col(imb.back(), 3)
+            .col(imb_max, 3);
+        bench::Series s;
+        s.name = label;
+        s.total_time = out.makespan;
+        for (const auto& t : r.step_times) s.per_step.push_back(t.total);
+        s.imbalance = imb;
+        json_series.push_back(std::move(s));
+      }
+      std::printf("\n%s network, %s solver:\n", netname, solver);
+      std::ostringstream oss;
+      table.print(oss);
+      std::fputs(oss.str().c_str(), stdout);
+    }
+  }
+  // The trigger rides along as a one-point series so JSON consumers (CI)
+  // can check convergence against the configured threshold.
+  bench::Series t;
+  t.name = "trigger";
+  t.total_time = trigger;
+  json_series.push_back(std::move(t));
+  bench::write_bench_json("imbalance", json_series);
+  return 0;
+}

@@ -4,9 +4,21 @@
 
 namespace domain {
 
+void CartGrid::face_distances(int d, int cell, double t, double& local,
+                              double& w) const {
+  if (cuts_[static_cast<std::size_t>(d)].empty()) {
+    w = box_.extent()[d] / dims_[d];
+    local = t * box_.extent()[d] - cell * w;
+  } else {
+    const double b = cell_begin(d, cell);
+    w = (cell_begin(d, cell + 1) - b) * box_.extent()[d];
+    local = (t - b) * box_.extent()[d];
+  }
+}
+
 std::vector<CartGrid::GhostImage> CartGrid::ghost_images(const Vec3& p,
                                                          double halo) const {
-  const Vec3 sub = subdomain_extent();
+  const Vec3 sub = min_cell_extent();
   FCS_CHECK(halo >= 0 && halo <= std::min({sub.x, sub.y, sub.z}),
             "ghost halo " << halo << " exceeds a subdomain extent");
   const auto cell = cell_of_position(p);
@@ -14,8 +26,8 @@ std::vector<CartGrid::GhostImage> CartGrid::ghost_images(const Vec3& p,
 
   int lo_near[3], hi_near[3];
   for (int d = 0; d < 3; ++d) {
-    const double w = box_.extent()[d] / dims_[d];
-    const double local = box_.normalized(p)[d] * box_.extent()[d] - cell[d] * w;
+    double local, w;
+    face_distances(d, cell[d], box_.normalized(p)[d], local, w);
     lo_near[d] = local < halo ? 1 : 0;
     hi_near[d] = local >= w - halo ? 1 : 0;
   }
@@ -53,7 +65,7 @@ std::vector<CartGrid::GhostImage> CartGrid::ghost_images(const Vec3& p,
 }
 
 std::vector<int> CartGrid::ghost_targets(const Vec3& p, double halo) const {
-  const Vec3 sub = subdomain_extent();
+  const Vec3 sub = min_cell_extent();
   FCS_CHECK(halo >= 0 && halo <= std::min({sub.x, sub.y, sub.z}),
             "ghost halo " << halo << " exceeds a subdomain extent");
   const auto cell = cell_of_position(p);
@@ -62,9 +74,8 @@ std::vector<int> CartGrid::ghost_targets(const Vec3& p, double halo) const {
   // Per axis, determine if p is within `halo` of the lower/upper face.
   int lo_near[3], hi_near[3];
   for (int d = 0; d < 3; ++d) {
-    const double w = box_.extent()[d] / dims_[d];
-    const double local =
-        box_.normalized(p)[d] * box_.extent()[d] - cell[d] * w;  // in [0, w)
+    double local, w;  // local in [0, w)
+    face_distances(d, cell[d], box_.normalized(p)[d], local, w);
     lo_near[d] = local < halo ? 1 : 0;
     hi_near[d] = local >= w - halo ? 1 : 0;
   }

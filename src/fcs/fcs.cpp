@@ -39,6 +39,10 @@ Fcs::Fcs(const mpi::Comm& comm, const std::string& method)
 
 void Fcs::set_common(const domain::Box& box) { solver_->set_box(box); }
 
+void Fcs::set_load_balance(const lb::LbConfig& cfg) {
+  balancer_ = std::make_unique<lb::Balancer>(cfg);
+}
+
 void Fcs::set_accuracy(double accuracy) { solver_->set_accuracy(accuracy); }
 
 void Fcs::tune(const std::vector<domain::Vec3>& positions,
@@ -69,8 +73,18 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   sopts.max_local = options.max_local;
   sopts.modeled_compute = options.modeled_compute;
   sopts.input_in_solver_order = last_resorted_;
+  sopts.balancer =
+      balancer_ != nullptr && balancer_->active() ? balancer_.get() : nullptr;
 
   SolveResult solved = solver_->solve(comm_, positions, charges, sopts);
+
+  // Load-balancing cost model: feed the balancer this epoch's measured
+  // compute time and particle count of the solver decomposition (the bytes
+  // moved since the last observation are read from the obs counters inside).
+  // Collective, like the solve itself.
+  if (sopts.balancer != nullptr)
+    sopts.balancer->observe(comm_, solved.positions.size(),
+                            solved.times.compute);
 
   RunResult result;
   result.times = solved.times;

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "fcs/solver.hpp"
+#include "lb/lb.hpp"
 
 namespace fcs {
 
@@ -54,6 +55,15 @@ class Fcs {
   /// Access to solver-specific setters (cutoff, mesh, order, ...).
   Solver& solver() { return *solver_; }
   const Solver& solver() const { return *solver_; }
+
+  /// Enable dynamic load balancing (src/lb) as a tuning mode: the solver
+  /// decomposition follows the balancer's cost-weighted plan, re-cut when
+  /// the observed imbalance ratio crosses the configured trigger. Call
+  /// before the first run; collective in effect (all ranks must configure
+  /// identically, like every other setter).
+  void set_load_balance(const lb::LbConfig& cfg);
+  /// The balancer driving this handle (null when load balancing is off).
+  lb::Balancer* balancer() { return balancer_.get(); }
 
   /// fcs_tune. Collective.
   void tune(const std::vector<domain::Vec3>& positions,
@@ -86,6 +96,7 @@ class Fcs {
  private:
   mpi::Comm comm_;
   std::unique_ptr<Solver> solver_;
+  std::unique_ptr<lb::Balancer> balancer_;
   bool last_resorted_ = false;
   std::size_t resort_n_original_ = 0;
   std::size_t resort_n_changed_ = 0;

@@ -21,6 +21,10 @@
 #include "obs/obs.hpp"
 #include "redist/atasp.hpp"
 
+namespace lb {
+class Balancer;
+}
+
 namespace fcs {
 
 /// Virtual-time breakdown of one solver execution, per rank. The benchmark
@@ -139,6 +143,11 @@ struct SolveOptions {
   /// calibrated virtual-time estimate instead. All data reordering and
   /// redistribution still runs for real.
   bool modeled_compute = false;
+  /// Dynamic load balancing (src/lb): when non-null and active, the solver
+  /// derives its decomposition from the balancer's cost-weighted plan
+  /// (Z-curve splitters for the FMM, per-axis grid cuts for the PM) instead
+  /// of the static count-balanced one. Owned by the fcs::Fcs handle.
+  lb::Balancer* balancer = nullptr;
 };
 
 /// Everything a solver returns, in SOLVER order and distribution.

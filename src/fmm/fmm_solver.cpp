@@ -6,6 +6,9 @@
 #include <unordered_map>
 
 #include "fmm/octree.hpp"
+#include "lb/incremental.hpp"
+#include "lb/lb.hpp"
+#include "lb/weighted_split.hpp"
 #include "redist/resort.hpp"
 #include "sortlib/merge_sort.hpp"
 #include "sortlib/partition_sort.hpp"
@@ -76,16 +79,91 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
                            domain::morton_key(box_, level_, positions[i]),
                            redist::make_index(comm.rank(), i)};
 
+  lb::Balancer* const bal =
+      options.balancer != nullptr && options.balancer->active()
+          ? options.balancer
+          : nullptr;
   // Paper heuristic: merge-based sorting when the maximum movement is below
-  // the side length of a volume/P cube.
+  // the side length of a volume/P cube. With load balancing the segment
+  // boundaries are cost-driven instead of count-driven, so the balancer
+  // path below replaces this choice entirely.
   const double cube_side =
       std::cbrt(box_.volume() / static_cast<double>(comm.size()));
-  const bool use_merge = options.input_in_solver_order &&
+  const bool use_merge = bal == nullptr && options.input_in_solver_order &&
                          options.max_particle_move >= 0.0 &&
                          options.max_particle_move < cube_side;
   last_used_merge_sort_ = use_merge;
   auto key_fn = [](const FmmParticle& pt) { return pt.key; };
-  if (use_merge) {
+  bool sparse_regime = use_merge;
+  if (bal != nullptr) {
+    // The balancer partitions on FULL-RESOLUTION Morton codes, not leaf-box
+    // keys: the leaf key is a prefix of the fine code, so fine-sorted items
+    // are automatically leaf-sorted, but segment boundaries can now cut
+    // INSIDE a crowded leaf box (a clustered hotspot can put thousands of
+    // particles into one box - splitting only between boxes would pin that
+    // whole load to a single rank). The compute path already handles boxes
+    // that span rank boundaries (multipole allreduce + ghost exchange).
+    auto fine_fn = [this](const FmmParticle& pt) {
+      return domain::morton_key(box_, domain::kMaxMortonLevel, pt.pos);
+    };
+    sortlib::sort_by_key(items, fine_fn);
+    if (!bal->has_splitters() || bal->should_rebalance()) {
+      std::vector<std::uint64_t> keys(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) keys[i] = fine_fn(items[i]);
+      // Per-PARTICLE weights, mirroring the compute-phase cost model on the
+      // LOCAL leaf-box occupancy (items are fine-sorted, so equal leaf keys
+      // are adjacent): a particle in a crowded box costs O(c) near-field
+      // work, one in a lone box amortizes its box's whole M2L share. Local
+      // occupancy approximates global occupancy because each rank holds a
+      // contiguous key range (only the two ranks sharing a boundary box
+      // underestimate). The raw shape is then calibrated so this rank's
+      // total stays n * bal->weight() - the balancer's OBSERVED per-rank
+      // cost sets how much total weight the rank carries, the model only
+      // distributes it across the rank's own key range.
+      std::vector<double> item_w(items.size(), 0.0);
+      const double nc = static_cast<double>(ncoef(order_));
+      double raw_sum = 0.0;
+      for (std::size_t i = 0; i < items.size();) {
+        std::size_t j = i;
+        while (j < items.size() && items[j].key == items[i].key) ++j;
+        const double c = static_cast<double>(j - i);
+        const double per_particle =
+            6.0 * 27.0 * std::max(1.0, c) + 189.0 * nc * nc / 4.0 / c +
+            10.0 * nc;
+        for (std::size_t k = i; k < j; ++k) item_w[k] = per_particle;
+        raw_sum += per_particle * c;
+        i = j;
+      }
+      if (raw_sum > 0.0) {
+        const double scale =
+            bal->weight() * static_cast<double>(items.size()) / raw_sum;
+        for (double& w : item_w) w *= scale;
+      }
+      bal->set_splitters(
+          lb::weighted_splitter_keys(comm, keys, item_w, comm.size()));
+      bal->note_rebalanced();
+      obs::count(ctx.obs(), "lb.plans", 1.0);
+    }
+    // Incremental path: when the input is already in solver order, only the
+    // particles in the shifted boundary strips (plus this step's movement)
+    // target other ranks - ship just those point-to-point. Falls back to
+    // the full weighted repartition when the mover fraction is too high or
+    // the input distribution is unrelated to the plan.
+    bool incremental = false;
+    if (options.input_in_solver_order)
+      incremental =
+          lb::incremental_migrate(comm, items, fine_fn, bal->splitters(),
+                                  bal->config().incremental_max_fraction);
+    if (!incremental) {
+      std::vector<std::uint64_t> keys(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) keys[i] = fine_fn(items[i]);
+      const std::vector<std::uint64_t> targets =
+          lb::segment_target_counts(comm, keys, bal->splitters());
+      sortlib::parallel_sort_partition(comm, items, fine_fn, &targets);
+      obs::count(ctx.obs(), "lb.migrate.full", 1.0);
+    }
+    sparse_regime = incremental;
+  } else if (use_merge) {
     sortlib::parallel_sort_merge(comm, items, key_fn);
   } else {
     sortlib::parallel_sort_partition(comm, items, key_fn);
@@ -98,18 +176,27 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   std::vector<double> potentials(items.size(), 0.0);
   std::vector<Vec3> field(items.size(), Vec3{});
   if (options.modeled_compute) {
-    // Near field ~ occupancy * 27 partners; far field ~ M2L work share.
-    const double n_total = static_cast<double>(comm.allreduce(
-        static_cast<std::uint64_t>(items.size()), mpi::OpSum{}));
-    const double occupancy = n_total / std::pow(8.0, level_);
+    // Near field: per leaf box, occupancy * 27 equally-occupied partner
+    // boxes - summed over the ACTUAL local occupancies, so clustered
+    // distributions charge their genuine O(c^2)-per-box near-field cost and
+    // the load balancer has a real signal. For uniform occupancy this
+    // reduces exactly to the previous global-occupancy formula (items are
+    // key-sorted here, so equal keys are adjacent). Far field ~ M2L work
+    // share of the locally held boxes.
     const double nc = static_cast<double>(ncoef(order_));
-    const double my_boxes =
-        static_cast<double>(items.size()) / std::max(1.0, occupancy);
+    double near = 0.0;
+    double my_boxes = 0.0;
+    for (std::size_t i = 0; i < items.size();) {
+      std::size_t j = i;
+      while (j < items.size() && items[j].key == items[i].key) ++j;
+      const double c = static_cast<double>(j - i);
+      near += 6.0 * c * 27.0 * std::max(1.0, c);
+      my_boxes += 1.0;
+      i = j;
+    }
     // Calibrated so the redistribution phases form a paper-like share of
     // the step total (Fig. 8: up to ~50% under method A).
-    ctx.charge_ops(6.0 * static_cast<double>(items.size()) * 27.0 *
-                       std::max(1.0, occupancy) +
-                   189.0 * my_boxes * nc * nc / 4.0 +
+    ctx.charge_ops(near + 189.0 * my_boxes * nc * nc / 4.0 +
                    10.0 * static_cast<double>(items.size()) * nc);
   } else {
     compute_fields(comm, items, potentials, field);
@@ -128,8 +215,8 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   }
   result.potentials = std::move(potentials);
   result.field = std::move(field);
-  result.resort_kind = use_merge ? redist::ExchangeKind::kSparse
-                                 : redist::ExchangeKind::kDense;
+  result.resort_kind = sparse_regime ? redist::ExchangeKind::kSparse
+                                     : redist::ExchangeKind::kDense;
   result.times.total = ctx.now() - t0;
   return result;
 }

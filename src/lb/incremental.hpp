@@ -1,0 +1,80 @@
+// Incremental boundary migration: the paper's almost-sorted/max-movement
+// regime applied to rebalancing. After a recut of the Z-curve splitters,
+// most elements already sit on their (new) owner rank; only the elements in
+// the shifted boundary strips need to move. Shipping just those through the
+// sparse point-to-point ATASP exchange costs O(movers) traffic instead of a
+// full all-to-all repartition touching every element.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/weighted_split.hpp"
+#include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
+#include "redist/atasp.hpp"
+#include "sortlib/local_sort.hpp"
+
+namespace lb {
+
+/// Migrate only the elements whose segment under `splitters` (see
+/// segment_of_key) is not this rank, through the sparse ATASP exchange;
+/// everything else stays in place. Returns false - leaving `items`
+/// untouched on every rank - when the movers exceed `max_fraction` of the
+/// global element count, so the caller can fall back to the full weighted
+/// repartition. On success `items` holds exactly this rank's segment,
+/// locally sorted by key. Collective; the go/no-go decision is an
+/// allreduce, so every rank takes the same branch.
+template <class T, class KeyFn>
+bool incremental_migrate(const mpi::Comm& comm, std::vector<T>& items,
+                         KeyFn key,
+                         const std::vector<std::uint64_t>& splitters,
+                         double max_fraction) {
+  FCS_CHECK(static_cast<int>(splitters.size()) + 1 == comm.size(),
+            "need P-1 splitters");
+  const int r = comm.rank();
+  std::vector<int> target(items.size());
+  std::uint64_t movers = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    target[i] = static_cast<int>(segment_of_key(splitters, key(items[i])));
+    if (target[i] != r) ++movers;
+  }
+  std::uint64_t local[2] = {movers, static_cast<std::uint64_t>(items.size())};
+  std::uint64_t global[2];
+  comm.allreduce(local, global, 2, mpi::OpSum{});
+  if (global[1] > 0 && static_cast<double>(global[0]) >
+                           max_fraction * static_cast<double>(global[1]))
+    return false;
+
+  obs::RankObs* const o = comm.ctx().obs();
+  obs::count(o, "lb.migrate.incremental", 1.0);
+  obs::count(o, "lb.migrate.movers", static_cast<double>(movers));
+  if (global[0] == 0) return true;  // every element already owned correctly
+
+  std::vector<T> moving;
+  std::vector<int> moving_target;
+  moving.reserve(static_cast<std::size_t>(movers));
+  moving_target.reserve(static_cast<std::size_t>(movers));
+  std::vector<T> keep;
+  keep.reserve(items.size() - static_cast<std::size_t>(movers));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (target[i] == r) {
+      keep.push_back(items[i]);
+    } else {
+      moving.push_back(items[i]);
+      moving_target.push_back(target[i]);
+    }
+  }
+  std::vector<T> arrived = redist::fine_grained_redistribute(
+      comm, moving,
+      [&](const T&, std::size_t i, std::vector<int>& t) {
+        t.push_back(moving_target[i]);
+      },
+      redist::ExchangeKind::kSparse);
+  keep.insert(keep.end(), arrived.begin(), arrived.end());
+  sortlib::sort_by_key(keep, key);
+  items = std::move(keep);
+  return true;
+}
+
+}  // namespace lb

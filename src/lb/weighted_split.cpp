@@ -1,0 +1,152 @@
+#include "lb/weighted_split.hpp"
+
+#include <algorithm>
+
+#include "sortlib/partition_sort.hpp"
+
+namespace lb {
+
+std::vector<std::uint64_t> weighted_splitter_keys(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    double weight_each, int nparts) {
+  FCS_CHECK(nparts >= 1, "nparts must be >= 1");
+  FCS_CHECK(weight_each > 0.0, "per-element weight must be positive");
+  const std::size_t ns = static_cast<std::size_t>(nparts) - 1;
+  const double total = comm.allreduce(
+      weight_each * static_cast<double>(sorted_keys.size()), mpi::OpSum{});
+  std::vector<double> targets(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    targets[s] =
+        total * static_cast<double>(s + 1) / static_cast<double>(nparts);
+  return sortlib::weighted_splitter_search(comm, sorted_keys, weight_each,
+                                           targets);
+}
+
+std::vector<std::uint64_t> weighted_splitter_keys(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<double>& item_weights, int nparts) {
+  FCS_CHECK(nparts >= 1, "nparts must be >= 1");
+  FCS_CHECK(item_weights.size() == sorted_keys.size(),
+            "item_weights must align with sorted_keys");
+  double local = 0.0;
+  for (double w : item_weights) local += w;
+  const double total = comm.allreduce(local, mpi::OpSum{});
+  const std::size_t ns = static_cast<std::size_t>(nparts) - 1;
+  std::vector<double> targets(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    targets[s] =
+        total * static_cast<double>(s + 1) / static_cast<double>(nparts);
+  return sortlib::weighted_splitter_search(comm, sorted_keys, item_weights,
+                                           targets);
+}
+
+std::size_t segment_of_key(const std::vector<std::uint64_t>& splitters,
+                           std::uint64_t key) {
+  return static_cast<std::size_t>(
+      std::upper_bound(splitters.begin(), splitters.end(), key) -
+      splitters.begin());
+}
+
+std::vector<std::uint64_t> segment_target_counts(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<std::uint64_t>& splitters) {
+  FCS_ASSERT(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  const std::size_t ns = splitters.size();
+  const std::uint64_t n_total = comm.allreduce(
+      static_cast<std::uint64_t>(sorted_keys.size()), mpi::OpSum{});
+  std::vector<std::uint64_t> counts(ns + 1, 0);
+  if (ns == 0) {
+    counts[0] = n_total;
+    return counts;
+  }
+  // Cumulative count through segment s = global number of keys strictly
+  // below splitters[s]: ties at a splitter sit in the segment above it,
+  // exactly like segment_of_key() and like exact_split_boundaries' quota
+  // handling when these counts are handed to parallel_sort_partition.
+  std::vector<std::uint64_t> below(ns), global_below(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    below[s] = static_cast<std::uint64_t>(
+        std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
+                         splitters[s]) -
+        sorted_keys.begin());
+  comm.allreduce(below.data(), global_below.data(), ns, mpi::OpSum{});
+  counts[0] = global_below[0];
+  for (std::size_t s = 1; s < ns; ++s)
+    counts[s] = global_below[s] - global_below[s - 1];
+  counts[ns] = n_total - global_below[ns - 1];
+  return counts;
+}
+
+std::array<std::vector<double>, 3> weighted_axis_cuts(
+    const mpi::Comm& comm, const domain::Box& box,
+    const std::vector<domain::Vec3>& positions, double weight_each,
+    const std::array<int, 3>& dims, const std::array<double, 3>& min_frac) {
+  FCS_CHECK(weight_each > 0.0, "per-element weight must be positive");
+  std::array<std::vector<double>, 3> coords;
+  for (auto& c : coords) c.reserve(positions.size());
+  for (const domain::Vec3& p : positions) {
+    const domain::Vec3 t = box.normalized(p);
+    coords[0].push_back(t.x);
+    coords[1].push_back(t.y);
+    coords[2].push_back(t.z);
+  }
+  const double total = comm.allreduce(
+      weight_each * static_cast<double>(positions.size()), mpi::OpSum{});
+
+  std::array<std::vector<double>, 3> cuts;
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const int m = dims[axis];
+    FCS_CHECK(m >= 1, "grid dimension must be >= 1");
+    const std::size_t ns = static_cast<std::size_t>(m) - 1;
+    std::vector<double>& cut = cuts[axis];
+    cut.assign(ns, 0.0);
+    if (ns == 0) continue;
+    FCS_CHECK(min_frac[axis] > 0.0, "minimum cell width must be positive");
+    // min_frac and the allreduced total are identical on every rank, so all
+    // ranks agree on feasibility and the collective bisection stays aligned.
+    const bool feasible =
+        static_cast<double>(m) * min_frac[axis] <= 1.0 && total > 0.0;
+    if (!feasible) {
+      for (std::size_t s = 0; s < ns; ++s)
+        cut[s] = static_cast<double>(s + 1) / static_cast<double>(m);
+      continue;
+    }
+    std::sort(coords[axis].begin(), coords[axis].end());
+    std::vector<double> lo(ns, 0.0), hi(ns, 1.0), w(ns), gw(ns);
+    // Fixed iteration count: ~2^-50 cut resolution, and every rank runs the
+    // same number of allreduces regardless of the particle data.
+    for (int it = 0; it < 50; ++it) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        const double mid = 0.5 * (lo[s] + hi[s]);
+        w[s] = weight_each *
+               static_cast<double>(std::upper_bound(coords[axis].begin(),
+                                                    coords[axis].end(), mid) -
+                                   coords[axis].begin());
+      }
+      comm.allreduce(w.data(), gw.data(), ns, mpi::OpSum{});
+      for (std::size_t s = 0; s < ns; ++s) {
+        const double mid = 0.5 * (lo[s] + hi[s]);
+        const double target =
+            total * static_cast<double>(s + 1) / static_cast<double>(m);
+        if (gw[s] >= target)
+          hi[s] = mid;
+        else
+          lo[s] = mid;
+      }
+    }
+    for (std::size_t s = 0; s < ns; ++s) cut[s] = 0.5 * (lo[s] + hi[s]);
+    // Enforce the minimum cell width front-to-back while leaving room for
+    // the remaining cells; with m * min_frac <= 1 the clamp bounds never
+    // cross, and the result is strictly increasing inside (0, 1).
+    double prev = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double room =
+          1.0 - static_cast<double>(ns - s) * min_frac[axis];
+      cut[s] = std::clamp(cut[s], prev + min_frac[axis], room);
+      prev = cut[s];
+    }
+  }
+  return cuts;
+}
+
+}  // namespace lb

@@ -1,0 +1,61 @@
+// Weighted decomposition cuts: Z-curve splitter keys for the FMM segments
+// and per-axis plane cuts for the PM grid, both balancing the global
+// per-rank cost (element count x this rank's per-particle weight) instead
+// of the plain element count. All functions are collective and return
+// identical results on every rank.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "minimpi/comm.hpp"
+
+namespace lb {
+
+/// P-1 ascending splitter keys cutting the global key space into `nparts`
+/// segments of (approximately) equal total weight. `sorted_keys` are this
+/// rank's keys in ascending order, each weighing `weight_each` (weights may
+/// differ between ranks). Ties at a splitter key belong to the segment
+/// ABOVE it, matching segment_of_key(); weight_each = 1 everywhere makes
+/// the cut count-balanced. Wraps sortlib::weighted_splitter_search.
+std::vector<std::uint64_t> weighted_splitter_keys(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    double weight_each, int nparts);
+
+/// Per-key-weight variant: element i weighs item_weights[i] (aligned with
+/// sorted_keys, weights >= 0, per-rank totals may differ). Use when the
+/// caller can attribute cost WITHIN its own elements - e.g. the FMM solver
+/// weighting each particle by its leaf box's modeled cost - so the cut can
+/// shrink a hotspot's segment below the rank-average share. Uniform weights
+/// reproduce the scalar overload exactly.
+std::vector<std::uint64_t> weighted_splitter_keys(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<double>& item_weights, int nparts);
+
+/// Segment index of one key under `splitters`: the first segment whose
+/// splitter is greater than the key (ties go above the splitter).
+std::size_t segment_of_key(const std::vector<std::uint64_t>& splitters,
+                           std::uint64_t key);
+
+/// Global element count per segment under `splitters` (sums to the global
+/// element count). Feeding these to sortlib::parallel_sort_partition as
+/// target counts reproduces exactly the segmentation of segment_of_key(),
+/// so the full repartition path and the incremental migration path agree
+/// on every element's owner. Collective.
+std::vector<std::uint64_t> segment_target_counts(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<std::uint64_t>& splitters);
+
+/// Weighted rectilinear grid cuts: for each axis d, dims[d]-1 ascending
+/// interior cut fractions in (0, 1) balancing the marginal weight of the
+/// particle positions, with every cell at least min_frac[d] wide (so the
+/// ghost halo still fits the narrowest cell). Degenerates to the uniform
+/// grid when the axis cannot satisfy the minimum width. Collective.
+std::array<std::vector<double>, 3> weighted_axis_cuts(
+    const mpi::Comm& comm, const domain::Box& box,
+    const std::vector<domain::Vec3>& positions, double weight_each,
+    const std::array<int, 3>& dims, const std::array<double, 3>& min_frac);
+
+}  // namespace lb

@@ -32,9 +32,10 @@ double potential_energy(const mpi::Comm& comm, const std::vector<double>& q,
 }
 
 /// Bounded random displacement: uniform direction, uniform radius in
-/// [step/2, step]; the reported maximum movement is exactly `step`.
+/// [step/2, step], plus the coherent drift; the reported maximum movement is
+/// exactly `step + |drift|`.
 void surrogate_displace(LocalParticles& particles, const domain::Box& box,
-                        double step, fcs::Rng& rng) {
+                        double step, const Vec3& drift, fcs::Rng& rng) {
   for (std::size_t i = 0; i < particles.size(); ++i) {
     Vec3 dir;
     do {
@@ -42,8 +43,16 @@ void surrogate_displace(LocalParticles& particles, const domain::Box& box,
     } while (dir.norm2() > 1.0 || dir.norm2() < 1e-12);
     dir *= 1.0 / dir.norm();
     const double radius = rng.uniform(0.5 * step, step);
-    particles.pos[i] = box.wrap(particles.pos[i] + dir * radius);
+    particles.pos[i] = box.wrap(particles.pos[i] + dir * radius + drift);
   }
+}
+
+/// max/mean over ranks of this run's compute phase time (1.0 when idle).
+double compute_imbalance_ratio(const mpi::Comm& comm, double compute_local) {
+  const double sum = comm.allreduce(compute_local, mpi::OpSum{});
+  const double max = comm.allreduce(compute_local, mpi::OpMax{});
+  const double mean = sum / static_cast<double>(comm.size());
+  return mean > 0.0 ? max / mean : 1.0;
 }
 
 }  // namespace
@@ -69,6 +78,8 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
   ropts.max_local = max_local;
   ropts.modeled_compute = cfg.modeled_compute;
 
+  if (cfg.lb.enabled) handle.set_load_balance(cfg.lb);
+
   handle.tune(particles.pos, particles.q);
 
   std::vector<double> phi;
@@ -92,6 +103,9 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
   }
   result.step_times.push_back(reduce_phase_max(comm, rr.times));
   result.resorted.push_back(rr.resorted);
+  result.compute_imbalance.push_back(
+      compute_imbalance_ratio(comm, rr.times.compute));
+  obs::count(o, "md.particles", static_cast<double>(particles.size()));
   result.energy_first = potential_energy(comm, particles.q, phi);
 
   fcs::Rng rng = fcs::Rng(cfg.surrogate_seed).stream(
@@ -104,8 +118,9 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     obs::Span step_span(ctx, "md.step");
     double max_move_local = 0.0;
     if (cfg.surrogate_motion) {
-      surrogate_displace(particles, cfg.box, cfg.surrogate_step, rng);
-      max_move_local = cfg.surrogate_step;
+      surrogate_displace(particles, cfg.box, cfg.surrogate_step,
+                         cfg.surrogate_drift, rng);
+      max_move_local = cfg.surrogate_step + cfg.surrogate_drift.norm();
     } else {
       max_move_local = advance_positions(particles, cfg.box, cfg.dt);
     }
@@ -141,6 +156,9 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     step_span.end();
     result.step_times.push_back(reduce_phase_max(comm, rr.times));
     result.resorted.push_back(rr.resorted);
+    result.compute_imbalance.push_back(
+        compute_imbalance_ratio(comm, rr.times.compute));
+    obs::count(o, "md.particles", static_cast<double>(particles.size()));
   }
 
   result.energy_last = potential_energy(comm, particles.q, phi);

@@ -32,6 +32,15 @@ struct SimulationConfig {
   bool surrogate_motion = false;
   double surrogate_step = 0.0;
   std::uint64_t surrogate_seed = 7;
+  /// Coherent per-step displacement added to every particle on top of the
+  /// surrogate jitter: the whole pattern (e.g. the clustered hotspots of
+  /// InitialDistribution::kClustered) slides across the periodic box, so a
+  /// static decomposition's load peaks wander between ranks - the moving
+  /// target bench_imbalance points the load balancer at.
+  domain::Vec3 surrogate_drift{};
+  /// Dynamic load balancing (src/lb), forwarded to the fcs handle before
+  /// tuning. Default-disabled: the decompositions stay static.
+  lb::LbConfig lb{};
   /// Robustness testing: per-rank probability that, each time step, one
   /// local particle teleports to a uniform random box position WITHOUT
   /// raising the reported max movement - a deliberate violation of the
@@ -54,6 +63,10 @@ struct SimulationResult {
   std::vector<bool> resorted;
   /// Total virtual time of the whole simulation (max final clock delta).
   double total_time = 0.0;
+  /// Compute imbalance ratio (max/mean over ranks of the compute phase) of
+  /// every solver execution, aligned with step_times. The bench_imbalance
+  /// convergence criterion reads this series.
+  std::vector<double> compute_imbalance;
   /// Potential energy after the first and last solver runs (diagnostics;
   /// meaningless under surrogate motion with modeled compute).
   double energy_first = 0.0;

@@ -33,11 +33,22 @@ struct LocalParticles {
 // The paper's grid distribution is "only slightly different" from the FMM's
 // Z-order decomposition on its machine because the rank numbering matched;
 // here the explicit Z-aligned distribution plays that role (see DESIGN.md).
+//
+// kClustered abandons the near-uniform crystal: particles concentrate in
+// `cluster_count` Gaussian blobs of width `cluster_sigma` (fraction of the
+// box extent) at deterministic pseudo-random centers. Ownership is
+// round-robin over the ranks, so the APPLICATION side stays count-balanced
+// while any spatial solver decomposition develops the compute imbalance the
+// load-balancing subsystem (src/lb) exists to correct. `cluster_drift`
+// shifts blob 0's center along x by that fraction of the box extent -
+// sweeping it from 0 to 1 migrates the blob across the (periodic) box, the
+// drifting-hotspot scenario of bench_imbalance.
 enum class InitialDistribution {
   kSingleProcess,
   kRandom,
   kProcessGrid,
   kZOrderSegments,
+  kClustered,
 };
 
 struct SystemConfig {
@@ -46,6 +57,10 @@ struct SystemConfig {
   double jitter = 0.25;        // thermal displacement, fraction of spacing
   std::uint64_t seed = 20130710;
   InitialDistribution distribution = InitialDistribution::kProcessGrid;
+  // kClustered only:
+  std::size_t cluster_count = 8;
+  double cluster_sigma = 0.05;   // blob width, fraction of the box extent
+  double cluster_drift = 0.0;    // blob 0 center shift along x, fraction
 };
 
 /// Deterministically generate this rank's share of the global ionic system.

@@ -45,8 +45,13 @@ std::string json_string(std::string_view s) {
 }
 
 void write_summary_fields(std::ostream& os, const Summary& s) {
-  os << "\"min\":" << json_number(s.min) << ",\"mean\":" << json_number(s.mean())
-     << ",\"max\":" << json_number(s.max) << ",\"sum\":" << json_number(s.sum);
+  // "imb" is the load-imbalance ratio max/mean; 0 marks a degenerate mean
+  // (empty or all-zero series) so consumers can skip it unambiguously.
+  const double mean = s.mean();
+  const double imb = mean > 0.0 ? s.max / mean : 0.0;
+  os << "\"min\":" << json_number(s.min) << ",\"mean\":" << json_number(mean)
+     << ",\"max\":" << json_number(s.max) << ",\"sum\":" << json_number(s.sum)
+     << ",\"imb\":" << json_number(imb);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "domain/linked_cells.hpp"
+#include "lb/lb.hpp"
+#include "lb/weighted_split.hpp"
 #include "minimpi/cart.hpp"
 #include "pm/charge_grid.hpp"
 #include "redist/neighborhood.hpp"
@@ -79,9 +81,37 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   fcs::PhaseScope sort_phase(ctx, result.times, &fcs::PhaseTimes::sort,
                              "pm.sort");
   const std::vector<int> cdims = mpi::dims_create(comm.size(), 3);
-  const domain::CartGrid grid(box_, {cdims[0], cdims[1], cdims[2]});
   mpi::CartComm cart(comm, cdims, {true, true, true});
   const double halo = params_.rcut;
+
+  // Dynamic load balancing: recut the grid's per-axis planes by the cost
+  // model when the balancer asks for it, otherwise keep the current plan
+  // (uniform grid when load balancing is off). The minimum cell width keeps
+  // the ghost halo inside the narrowest cell, so the neighborhood exchange
+  // machinery below works unchanged on the recut grid.
+  lb::Balancer* const bal =
+      options.balancer != nullptr && options.balancer->active()
+          ? options.balancer
+          : nullptr;
+  std::vector<domain::Vec3> wrapped(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    wrapped[i] = box_.wrap(positions[i]);
+  domain::CartGrid grid(box_, {cdims[0], cdims[1], cdims[2]});
+  if (bal != nullptr) {
+    if (!bal->has_cuts() || bal->should_rebalance()) {
+      std::array<double, 3> min_frac;
+      for (int d = 0; d < 3; ++d)
+        min_frac[static_cast<std::size_t>(d)] =
+            halo * (1.0 + 1e-9) / box_.extent()[d];
+      bal->set_cuts(lb::weighted_axis_cuts(comm, box_, wrapped, bal->weight(),
+                                           {cdims[0], cdims[1], cdims[2]},
+                                           min_frac));
+      bal->note_rebalanced();
+      obs::count(ctx.obs(), "lb.plans", 1.0);
+    }
+    grid = domain::CartGrid(box_, {cdims[0], cdims[1], cdims[2]},
+                            bal->cuts());
+  }
 
   // Expand each particle into its owner copy plus explicit ghost copies
   // with image-shifted positions. Ghost copies carry the paper's "invalid
@@ -95,13 +125,11 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   std::vector<Copy> copies;
   copies.reserve(2 * positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    const domain::Vec3 wrapped = box_.wrap(positions[i]);
     const std::uint64_t origin = redist::make_index(comm.rank(), i);
-    copies.push_back(
-        Copy{PmParticle{wrapped, charges[i], origin},
-             grid.rank_of_position(wrapped)});
-    for (const auto& img : grid.ghost_images(wrapped, halo))
-      copies.push_back(Copy{PmParticle{wrapped + img.shift, charges[i],
+    copies.push_back(Copy{PmParticle{wrapped[i], charges[i], origin},
+                          grid.rank_of_position(wrapped[i])});
+    for (const auto& img : grid.ghost_images(wrapped[i], halo))
+      copies.push_back(Copy{PmParticle{wrapped[i] + img.shift, charges[i],
                                        origin | kGhostBit},
                             img.rank});
   }
@@ -112,7 +140,7 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   // neighbor, so point-to-point neighborhood communication replaces the
   // collective all-to-all.
   const std::vector<int> neighbors = cart.neighbors(1);
-  const Vec3 sub = grid.subdomain_extent();
+  const Vec3 sub = grid.min_cell_extent();
   const double min_ext = std::min({sub.x, sub.y, sub.z});
   const bool bound_claims_safe =
       options.input_in_solver_order && options.max_particle_move >= 0.0 &&
@@ -180,11 +208,19 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   std::vector<Vec3> field(n_owned, Vec3{});
   if (options.modeled_compute) {
     // Charge the virtual clock with a calibrated estimate: real-space pair
-    // work + this rank's share of the mesh transform work.
+    // work + this rank's share of the mesh transform work. The pair count
+    // scales with the LOCAL subdomain density (owned particles over this
+    // rank's cell volume) - for a homogeneous system this equals the old
+    // global density, but clustered distributions now charge their genuine
+    // per-rank near-field cost, which is the signal the load balancer
+    // re-cuts the grid on.
+    domain::Vec3 cell_lo, cell_hi;
+    grid.subdomain(comm.rank(), cell_lo, cell_hi);
+    const double cell_volume = (cell_hi.x - cell_lo.x) *
+                               (cell_hi.y - cell_lo.y) *
+                               (cell_hi.z - cell_lo.z);
     const double density =
-        static_cast<double>(comm.allreduce(
-            static_cast<std::uint64_t>(positions.size()), mpi::OpSum{})) /
-        box_.volume();
+        cell_volume > 0.0 ? static_cast<double>(n_owned) / cell_volume : 0.0;
     const double pairs_per_particle =
         4.0 / 3.0 * std::numbers::pi * params_.rcut * params_.rcut *
         params_.rcut * density;

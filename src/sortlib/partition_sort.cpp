@@ -17,6 +17,93 @@ std::vector<std::uint64_t> balanced_target_prefix(std::uint64_t n_total,
   return prefix;
 }
 
+namespace {
+
+// Shared core of the two weighted_splitter_search overloads: batched binary
+// search identical in structure to exact_split_boundaries, with the global
+// count G(k) replaced by the weighted count W(k) supplied by `weight_leq`
+// (the local weight of all elements with key <= k). All ranks iterate on
+// identical lo/hi state (the allreduce result is bit-identical everywhere),
+// so the loop stays collectively synchronized.
+template <class WeightLeq>
+std::vector<std::uint64_t> weighted_splitter_bisect(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<double>& targets, WeightLeq weight_leq) {
+  const std::size_t ns = targets.size();
+  FCS_ASSERT(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  FCS_ASSERT(std::is_sorted(targets.begin(), targets.end()));
+  std::vector<std::uint64_t> splitters(ns, 0);
+  if (ns == 0) return splitters;
+
+  const std::uint64_t local_min =
+      sorted_keys.empty() ? ~std::uint64_t{0} : sorted_keys.front();
+  const std::uint64_t local_max = sorted_keys.empty() ? 0 : sorted_keys.back();
+  const std::uint64_t kmin = comm.allreduce(local_min, mpi::OpMin{});
+  const std::uint64_t kmax = comm.allreduce(local_max, mpi::OpMax{});
+  const std::uint64_t n_total = comm.allreduce(
+      static_cast<std::uint64_t>(sorted_keys.size()), mpi::OpSum{});
+  if (n_total == 0) return splitters;
+
+  std::vector<std::uint64_t> lo(ns, kmin), hi(ns, kmax);
+  std::vector<double> weights(ns), global(ns);
+  for (;;) {
+    bool open = false;
+    for (std::size_t s = 0; s < ns; ++s)
+      if (lo[s] < hi[s]) open = true;
+    if (!open) break;
+    for (std::size_t s = 0; s < ns; ++s)
+      weights[s] = weight_leq(lo[s] + (hi[s] - lo[s]) / 2);
+    comm.allreduce(weights.data(), global.data(), ns, mpi::OpSum{});
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (lo[s] >= hi[s]) continue;
+      const std::uint64_t mid = lo[s] + (hi[s] - lo[s]) / 2;
+      if (global[s] >= targets[s])
+        hi[s] = mid;
+      else
+        lo[s] = mid + 1;
+    }
+  }
+  for (std::size_t s = 0; s < ns; ++s) splitters[s] = lo[s];
+  return splitters;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> weighted_splitter_search(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    double weight_each, const std::vector<double>& targets) {
+  return weighted_splitter_bisect(
+      comm, sorted_keys, targets, [&](std::uint64_t k) {
+        return weight_each *
+               static_cast<double>(
+                   std::upper_bound(sorted_keys.begin(), sorted_keys.end(),
+                                    k) -
+                   sorted_keys.begin());
+      });
+}
+
+std::vector<std::uint64_t> weighted_splitter_search(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<double>& item_weights,
+    const std::vector<double>& targets) {
+  FCS_CHECK(item_weights.size() == sorted_keys.size(),
+            "item_weights must align with sorted_keys");
+  // Inclusive prefix sums make W(k) an O(log n) lookup per probe; summing
+  // once up front also keeps the floating-point association order fixed, so
+  // the collective bisection sees identical values on every probe.
+  std::vector<double> prefix(sorted_keys.size() + 1, 0.0);
+  for (std::size_t i = 0; i < item_weights.size(); ++i) {
+    FCS_ASSERT(item_weights[i] >= 0.0);
+    prefix[i + 1] = prefix[i] + item_weights[i];
+  }
+  return weighted_splitter_bisect(
+      comm, sorted_keys, targets, [&](std::uint64_t k) {
+        return prefix[static_cast<std::size_t>(
+            std::upper_bound(sorted_keys.begin(), sorted_keys.end(), k) -
+            sorted_keys.begin())];
+      });
+}
+
 std::vector<std::size_t> exact_split_boundaries(
     const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
     const std::vector<std::uint64_t>& target_prefix) {

@@ -31,6 +31,27 @@ std::vector<std::size_t> exact_split_boundaries(
 /// remainder spread over the lowest ranks.
 std::vector<std::uint64_t> balanced_target_prefix(std::uint64_t n_total, int p);
 
+/// Generalization of the splitter search inside exact_split_boundaries to
+/// weighted elements: find, for each target t[s], the smallest key k[s] with
+/// W(k[s]) >= t[s], where W(k) is the global weighted count of elements with
+/// key <= k and every element on THIS rank weighs `weight_each` (weights may
+/// differ between ranks; weight_each = 1 everywhere recovers the count-based
+/// search). Targets must be ascending. Returns the k[s] (ascending).
+/// Collective; all ranks get identical results. The load-balancing layer
+/// (src/lb) uses this to recut Z-curve segments by per-rank cost.
+std::vector<std::uint64_t> weighted_splitter_search(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    double weight_each, const std::vector<double>& targets);
+
+/// Per-item-weight variant: element i on this rank weighs item_weights[i]
+/// (aligned with sorted_keys, all weights >= 0). This is what lets the cut
+/// react to cost variation WITHIN a rank - e.g. a density hotspot whose
+/// per-particle cost exceeds the rank average - instead of only to per-rank
+/// averages. item_weights = {w, w, ...} recovers the scalar overload.
+std::vector<std::uint64_t> weighted_splitter_search(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& sorted_keys,
+    const std::vector<double>& item_weights, const std::vector<double>& targets);
+
 /// Sort `items` globally by key across the communicator using exact
 /// splitting + alltoallv. Afterwards keys on rank r are all <= keys on rank
 /// r+1 and rank r holds target_counts[r] elements (balanced by default).

@@ -428,6 +428,117 @@ TEST(Neighborhood, SelfDataPassesThrough) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Extreme skew: everything on one rank, or ranks with nothing at all. These
+// are the states a load balancer starts from (and the states redistribution
+// must survive on the way out of them).
+
+class ExtremeSkew : public ::testing::TestWithParam<
+                        std::tuple<int, ExchangeKind>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndKinds, ExtremeSkew,
+    ::testing::Combine(::testing::Values(3, 7, 12),
+                       ::testing::Values(ExchangeKind::kDense,
+                                         ExchangeKind::kSparse)));
+
+TEST_P(ExtremeSkew, AllOnOneRankScattersAndRestores) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    // Rank 0 holds everything (the paper's single-process initial
+    // distribution); the round trip scatters across all ranks and restores.
+    const std::size_t n =
+        c.rank() == 0 ? static_cast<std::size_t>(p) * 30 : 0;
+    std::vector<Particle> original(n);
+    for (std::size_t i = 0; i < n; ++i)
+      original[i] = {static_cast<double>(i), redist::make_index(c.rank(), i)};
+
+    auto scattered = redist::fine_grained_redistribute(
+        c, original,
+        [p](const Particle& pt, std::size_t, std::vector<int>& t) {
+          t.push_back(static_cast<int>(pt.x) % p);
+        },
+        kind);
+    EXPECT_EQ(scattered.size(), 30u);  // every rank ends up with its share
+
+    auto restored = redist::restore_to_origin(
+        c, scattered, [](const Particle& pt) { return pt.origin; }, n, kind);
+    ASSERT_EQ(restored.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(restored[i].origin, original[i].origin);
+      EXPECT_DOUBLE_EQ(restored[i].x, original[i].x);
+    }
+  });
+}
+
+TEST_P(ExtremeSkew, AllToOneRankAndEmptySendersResort) {
+  const auto [p, kind] = GetParam();
+  run_ranks(p, [p, kind = kind](mpi::Comm& c) {
+    // The inverse skew: every rank funnels its elements INTO rank 0 (some
+    // ranks start empty), then method B's resort machinery routes per-
+    // element payloads to the new location.
+    const std::size_t n =
+        c.rank() % 2 == 0 ? 12 + static_cast<std::size_t>(c.rank()) : 0;
+    std::vector<Particle> original(n);
+    for (std::size_t i = 0; i < n; ++i)
+      original[i] = {static_cast<double>(i), redist::make_index(c.rank(), i)};
+    auto scattered = redist::fine_grained_redistribute(
+        c, original,
+        [](const Particle&, std::size_t, std::vector<int>& t) {
+          t.push_back(0);
+        },
+        kind);
+    if (c.rank() != 0) {
+      EXPECT_TRUE(scattered.empty());
+    }
+
+    std::vector<std::uint64_t> origin_of_current(scattered.size());
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      origin_of_current[i] = scattered[i].origin;
+    auto resort = redist::invert_origin_indices(c, origin_of_current, n, kind);
+    ASSERT_EQ(resort.size(), n);
+
+    std::vector<double> payload(n);
+    for (std::size_t i = 0; i < n; ++i)
+      payload[i] = static_cast<double>(original[i].origin);
+    auto moved =
+        redist::resort_values(c, resort, payload, 1, scattered.size(), kind);
+    ASSERT_EQ(moved.size(), scattered.size());
+    for (std::size_t i = 0; i < scattered.size(); ++i)
+      EXPECT_DOUBLE_EQ(moved[i], static_cast<double>(scattered[i].origin));
+    (void)p;
+  });
+}
+
+TEST_P(ExtremeSkew, NeighborhoodWithOnlyOneActiveSender) {
+  const auto [p, kind] = GetParam();
+  if (kind == ExchangeKind::kDense) return;  // neighborhood is sparse-only
+  run_ranks(p, [p](mpi::Comm& c) {
+    // A ring neighborhood where only rank 0 has anything to say; everyone
+    // still participates collectively with zero counts.
+    std::vector<int> neighbors = {(c.rank() + 1) % p,
+                                  (c.rank() + p - 1) % p};
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p), 0);
+    std::vector<int> data;
+    if (c.rank() == 0) {
+      counts[1] = 3;
+      data.assign(3, 42);
+    }
+    std::vector<std::size_t> rc;
+    auto got =
+        redist::neighborhood_alltoallv(c, neighbors, data.data(), counts, rc);
+    if (c.rank() == 1) {
+      ASSERT_EQ(got.size(), 3u);
+      for (int v : got) EXPECT_EQ(v, 42);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
 TEST(RedistTiming, SparseBeatsDenseForNeighborOnlyTrafficOnTorus) {
   // The Fig. 9 mechanism: on a torus, when traffic is neighbor-only, the
   // sparse point-to-point exchange must be cheaper than the dense
