@@ -95,12 +95,21 @@ struct SimOutcome {
   double makespan = 0.0;
 };
 
-/// One data series of a figure, for the machine-readable JSON export.
+/// One data series of a figure, for the machine-readable JSON export. The
+/// metadata fields describe what the series actually ran (coupling method,
+/// sort algorithm, exchange pattern, network model) so plan-vs-fixed
+/// comparisons are machine-checkable without parsing series names; empty
+/// strings are omitted from the JSON.
 struct Series {
   std::string name;                // e.g. "switched-fmm-incremental"
   double total_time = 0.0;         // engine makespan (virtual seconds)
   std::vector<double> per_step;    // per solver execution: total phase time
   std::vector<double> imbalance;   // optional: compute imbalance max/mean
+  std::string method;              // "A" | "B" | "B+mm" | "auto"
+  std::string sort;                // "partition" | "merge" | "auto"
+  std::string exchange;            // "alltoall" | "neighborhood" | "auto"
+  std::string network;             // "switched" | "torus"
+  std::string decisions;           // planner decision codes, 3 chars/step
 };
 
 /// Shortest round-trip decimal representation (deterministic; values here
@@ -134,7 +143,15 @@ inline void write_bench_json(const std::string& figure,
     os << "],\"imbalance\":[";
     for (std::size_t j = 0; j < s.imbalance.size(); ++j)
       os << (j == 0 ? "" : ",") << bench_json_number(s.imbalance[j]);
-    os << "]}";
+    os << "]";
+    // Metadata (new fields; the old ones above keep their names and order
+    // so existing CI assertions continue to parse).
+    if (!s.method.empty()) os << ",\"method\":\"" << s.method << "\"";
+    if (!s.sort.empty()) os << ",\"sort\":\"" << s.sort << "\"";
+    if (!s.exchange.empty()) os << ",\"exchange\":\"" << s.exchange << "\"";
+    if (!s.network.empty()) os << ",\"network\":\"" << s.network << "\"";
+    if (!s.decisions.empty()) os << ",\"decisions\":\"" << s.decisions << "\"";
+    os << "}";
   }
   os << "\n]}\n";
   std::printf("wrote %s\n", path.c_str());

@@ -81,6 +81,10 @@ int main() {
       s.total_time = out.makespan;
       for (const auto& t : r.step_times) s.per_step.push_back(t.total);
       s.imbalance = r.compute_imbalance;
+      s.method = variant == 0 ? "A" : variant == 1 ? "B" : "B+mm";
+      s.sort = variant >= 2 ? "auto" : "partition";
+      s.exchange = variant >= 2 ? "auto" : "alltoall";
+      s.network = "switched";
       json_series.push_back(std::move(s));
     }
     for (int s = 0; s <= steps; ++s) {

@@ -56,6 +56,10 @@ int main() {
       s.total_time = out.makespan;
       for (const auto& t : r.step_times) s.per_step.push_back(t.total);
       s.imbalance = r.compute_imbalance;
+      s.method = variant == 0 ? "A" : "B";
+      s.sort = "partition";
+      s.exchange = "alltoall";
+      s.network = "switched";
       json_series.push_back(std::move(s));
     }
     fcs::Table table({"step", "A_sort+restore", "A_total", "B_sort+resort",

@@ -102,6 +102,10 @@ int main() {
         s.total_time = out.makespan;
         for (const auto& t : r.step_times) s.per_step.push_back(t.total);
         s.imbalance = imb;
+        s.method = "B+mm";
+        s.sort = "auto";
+        s.exchange = "auto";
+        s.network = netname;
         json_series.push_back(std::move(s));
       }
       std::printf("\n%s network, %s solver:\n", netname, solver);

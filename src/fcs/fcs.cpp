@@ -37,10 +37,19 @@ void validate_run(const mpi::Comm& comm, std::size_t n_in,
 Fcs::Fcs(const mpi::Comm& comm, const std::string& method)
     : comm_(comm), solver_(create_solver(method)) {}
 
-void Fcs::set_common(const domain::Box& box) { solver_->set_box(box); }
+void Fcs::set_common(const domain::Box& box) {
+  box_ = box;
+  solver_->set_box(box);
+}
 
 void Fcs::set_load_balance(const lb::LbConfig& cfg) {
   balancer_ = std::make_unique<lb::Balancer>(cfg);
+}
+
+void Fcs::set_plan(const plan::PlanConfig& cfg) {
+  planner_ = cfg.mode == plan::PlanMode::kOff
+                 ? nullptr
+                 : std::make_unique<plan::Planner>(cfg);
 }
 
 void Fcs::set_accuracy(double accuracy) { solver_->set_accuracy(accuracy); }
@@ -67,14 +76,36 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
                                           sizeof(double))
                : 0;
 
+  // Adaptive planning (src/plan): an active planner overrides the per-run
+  // coupling options. decide() communicates only in auto mode, so fixed
+  // plans replay the legacy virtual-time behaviour bit-identically.
+  plan::RedistPlan rplan;
+  const bool planned = planner_ != nullptr && planner_->active();
+  bool want_resort = options.resort;
+  double bound = options.max_particle_move;
+  if (planned) {
+    plan::DecideInputs din;
+    din.n_local = positions.size();
+    din.max_move = options.max_particle_move;
+    din.input_in_solver_order = last_resorted_;
+    din.volume = box_.volume();
+    rplan = planner_->decide(comm_, din);
+    want_resort = rplan.method != plan::Method::kA;
+    // Only the movement-bound arm exploits the bound: methods A and B must
+    // run the paper's bound-free code paths (FCS_PLAN=fixed:A / fixed:B
+    // reproduce the corresponding figure series).
+    if (rplan.method != plan::Method::kBMaxMove) bound = -1.0;
+  }
+
   SolveOptions sopts;
-  sopts.resort = options.resort;
-  sopts.max_particle_move = options.max_particle_move;
+  sopts.resort = want_resort;
+  sopts.max_particle_move = bound;
   sopts.max_local = options.max_local;
   sopts.modeled_compute = options.modeled_compute;
   sopts.input_in_solver_order = last_resorted_;
   sopts.balancer =
       balancer_ != nullptr && balancer_->active() ? balancer_.get() : nullptr;
+  sopts.plan = planned ? &rplan : nullptr;
 
   SolveResult solved = solver_->solve(comm_, positions, charges, sopts);
 
@@ -89,7 +120,21 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   RunResult result;
   result.times = solved.times;
 
-  bool do_resort = options.resort;
+  // Model calibration (auto mode only): after the run completes, feed the
+  // planner the observed phase costs of the decision it made. Collective
+  // (one allreduce), like the solve itself.
+  auto feed_planner = [&](bool resorted) {
+    if (!planned || !planner_->auto_mode()) return;
+    plan::ObserveInputs oin;
+    oin.t_sort = solved.times.sort;
+    oin.t_restore = result.times.restore - solved.times.restore;
+    oin.t_resort = result.times.resort - solved.times.resort;
+    oin.resorted = resorted;
+    oin.sparse_resort = solved.resort_kind == redist::ExchangeKind::kSparse;
+    planner_->observe(comm_, oin);
+  };
+
+  bool do_resort = want_resort;
   if (do_resort && options.max_local > 0) {
     // Paper: the changed distribution can only be returned if every rank's
     // local arrays are large enough.
@@ -97,7 +142,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
         solved.positions.size() <= options.max_local ? 1 : 0;
     do_resort = comm_.allreduce(fits, mpi::OpMin{}) == 1;
   }
-  if (options.resort && !do_resort)
+  if (want_resort && !do_resort)
     obs::count(ctx.obs(), "fcs.resort_fallback", 1.0);
 
   if (do_resort) {
@@ -117,6 +162,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       last_resorted_ = true;
     }
     if (validate) validate_run(comm_, n_original, charge_sum_in, charges);
+    feed_planner(/*resorted=*/true);
     result.resorted = true;
     result.n_local = positions.size();
     return result;
@@ -151,6 +197,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   // Method A leaves positions/charges untouched, so count conservation is
   // trivial - but the checksum still guards against buffer corruption.
   if (validate) validate_run(comm_, n_original, charge_sum_in, charges);
+  feed_planner(/*resorted=*/false);
   result.resorted = false;
   result.n_local = n_original;
   return result;

@@ -25,6 +25,7 @@
 
 #include "fcs/solver.hpp"
 #include "lb/lb.hpp"
+#include "plan/planner.hpp"
 
 namespace fcs {
 
@@ -65,6 +66,17 @@ class Fcs {
   /// The balancer driving this handle (null when load balancing is off).
   lb::Balancer* balancer() { return balancer_.get(); }
 
+  /// Enable the adaptive redistribution planner (src/plan): before each run
+  /// it picks coupling method / sort algorithm / exchange pattern, overriding
+  /// RunOptions::resort and the solvers' built-in heuristics. In kFixed mode
+  /// the planner is communication-free, so fixed plans replay the legacy
+  /// virtual-time behaviour bit-identically. Call before the first run;
+  /// collective in effect. A kOff config removes the planner.
+  void set_plan(const plan::PlanConfig& cfg);
+  /// The planner driving this handle (null when planning is off).
+  plan::Planner* planner() { return planner_.get(); }
+  const plan::Planner* planner() const { return planner_.get(); }
+
   /// fcs_tune. Collective.
   void tune(const std::vector<domain::Vec3>& positions,
             const std::vector<double>& charges);
@@ -97,6 +109,8 @@ class Fcs {
   mpi::Comm comm_;
   std::unique_ptr<Solver> solver_;
   std::unique_ptr<lb::Balancer> balancer_;
+  std::unique_ptr<plan::Planner> planner_;
+  domain::Box box_;  // kept for the planner's volume-based feasibility gate
   bool last_resorted_ = false;
   std::size_t resort_n_original_ = 0;
   std::size_t resort_n_changed_ = 0;

@@ -19,6 +19,7 @@
 #include "domain/vec3.hpp"
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
+#include "plan/plan.hpp"
 #include "redist/atasp.hpp"
 
 namespace lb {
@@ -148,6 +149,11 @@ struct SolveOptions {
   /// (Z-curve splitters for the FMM, per-axis grid cuts for the PM) instead
   /// of the static count-balanced one. Owned by the fcs::Fcs handle.
   lb::Balancer* balancer = nullptr;
+  /// Redistribution plan (src/plan): when non-null, the plan's sort/exchange
+  /// fields override the solver's built-in movement-bound heuristics (kAuto
+  /// keeps them). The method field is consumed by the fcs layer, not here.
+  /// Owned by the caller (fcs::Fcs::run stack frame).
+  const plan::RedistPlan* plan = nullptr;
 };
 
 /// Everything a solver returns, in SOLVER order and distribution.
@@ -161,6 +167,10 @@ struct SolveResult {
   /// Exchange backend the fcs layer should use for restore/resort, matching
   /// the communication regime the solver chose.
   redist::ExchangeKind resort_kind = redist::ExchangeKind::kDense;
+  /// What actually ran at the solver's decision point (kAuto when the solver
+  /// has no such choice): the planner audit trail and tests read these.
+  plan::SortAlgo sort_used = plan::SortAlgo::kAuto;
+  plan::Exchange exchange_used = plan::Exchange::kAuto;
   PhaseTimes times;
 };
 

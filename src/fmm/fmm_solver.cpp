@@ -89,9 +89,15 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   // path below replaces this choice entirely.
   const double cube_side =
       std::cbrt(box_.volume() / static_cast<double>(comm.size()));
-  const bool use_merge = bal == nullptr && options.input_in_solver_order &&
-                         options.max_particle_move >= 0.0 &&
-                         options.max_particle_move < cube_side;
+  bool use_merge = bal == nullptr && options.input_in_solver_order &&
+                   options.max_particle_move >= 0.0 &&
+                   options.max_particle_move < cube_side;
+  // Plan override (src/plan): an explicit sort choice replaces the movement
+  // heuristic. The balancer path still wins - its cost-weighted splitters
+  // are incompatible with either count-balanced algorithm.
+  if (bal == nullptr && options.plan != nullptr &&
+      options.plan->sort != plan::SortAlgo::kAuto)
+    use_merge = options.plan->sort == plan::SortAlgo::kMerge;
   last_used_merge_sort_ = use_merge;
   auto key_fn = [](const FmmParticle& pt) { return pt.key; };
   bool sparse_regime = use_merge;
@@ -168,6 +174,9 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   } else {
     sortlib::parallel_sort_partition(comm, items, key_fn);
   }
+  if (bal == nullptr)
+    result.sort_used =
+        use_merge ? plan::SortAlgo::kMerge : plan::SortAlgo::kPartition;
   sort_phase.stop();
 
   // --- Compute phase ---------------------------------------------------------

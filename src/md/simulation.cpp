@@ -80,6 +80,10 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
 
   if (cfg.lb.enabled) handle.set_load_balance(cfg.lb);
 
+  const plan::PlanConfig pcfg = plan::config_from_env(cfg.plan);
+  const bool plan_active = pcfg.mode != plan::PlanMode::kOff;
+  if (plan_active) handle.set_plan(pcfg);
+
   handle.tune(particles.pos, particles.q);
 
   std::vector<double> phi;
@@ -139,7 +143,11 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     }
     const double max_move = comm.allreduce(max_move_local, mpi::OpMax{});
     obs::observe(o, "md.max_move", max_move);
-    ropts.max_particle_move = cfg.exploit_max_movement ? max_move : -1.0;
+    // The planner needs the bound to judge the movement arm even when the
+    // static config would not exploit it; with planning off the legacy knob
+    // alone decides, keeping the fixed-method figure runs bit-identical.
+    ropts.max_particle_move =
+        (cfg.exploit_max_movement || plan_active) ? max_move : -1.0;
 
     rr = handle.run(particles.pos, particles.q, phi, field, ropts);
     if (rr.resorted) {
@@ -164,6 +172,8 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
   result.energy_last = potential_energy(comm, particles.q, phi);
   result.total_time =
       comm.allreduce(ctx.now() - t_start, mpi::OpMax{});
+  if (const plan::Planner* p = handle.planner(); p != nullptr)
+    result.plan_decisions = p->decision_string();
   return result;
 }
 

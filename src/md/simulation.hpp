@@ -41,6 +41,13 @@ struct SimulationConfig {
   /// Dynamic load balancing (src/lb), forwarded to the fcs handle before
   /// tuning. Default-disabled: the decompositions stay static.
   lb::LbConfig lb{};
+  /// Adaptive redistribution planning (src/plan), forwarded to the fcs
+  /// handle before tuning; the FCS_PLAN / FCS_PLAN_PROBE / FCS_PLAN_EWMA
+  /// environment knobs override this programmatic config. When the planner
+  /// is active it picks method/sort/exchange per step, `resort` and
+  /// `exploit_max_movement` above are ignored, and the movement bound is
+  /// always reported to the handle (the planner decides whether to use it).
+  plan::PlanConfig plan{};
   /// Robustness testing: per-rank probability that, each time step, one
   /// local particle teleports to a uniform random box position WITHOUT
   /// raising the reported max movement - a deliberate violation of the
@@ -71,6 +78,10 @@ struct SimulationResult {
   /// meaningless under surrogate motion with modeled compute).
   double energy_first = 0.0;
   double energy_last = 0.0;
+  /// Concatenated 3-char decision codes of the planner, one per solver
+  /// execution (empty when planning is off). Identical on every rank; the
+  /// CI determinism leg compares it across reruns.
+  std::string plan_decisions;
 };
 
 /// Run the Figure 3 loop: tune, initial interactions, `steps` time steps.

@@ -145,12 +145,23 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   const bool bound_claims_safe =
       options.input_in_solver_order && options.max_particle_move >= 0.0 &&
       options.max_particle_move + halo <= min_ext;
+  // Plan override (src/plan): an explicit exchange choice replaces the bound
+  // heuristic. A forced neighborhood exchange still runs the target scan
+  // below - the planner can route a degenerate step here (zero-particle
+  // ranks, movement spanning more than one neighbor shell), and that must
+  // degrade to the dense all-to-all, never trip the non-neighbor check
+  // inside neighborhood_alltoallv.
+  bool want_neighborhood = bound_claims_safe;
+  if (options.plan != nullptr &&
+      options.plan->exchange != plan::Exchange::kAuto)
+    want_neighborhood =
+        options.plan->exchange == plan::Exchange::kNeighborhood;
   // Verify the claim against the actual copy targets: a particle that moved
   // beyond the reported bound may target a non-neighbor rank, and trusting
   // the bound would strand it. On a violation the step degrades gracefully
   // to the dense all-to-all (counted as redist.fallback) instead of losing
   // particles or aborting.
-  bool targets_ok = bound_claims_safe;
+  bool targets_ok = want_neighborhood;
   if (targets_ok) {
     for (const Copy& cp : copies) {
       if (cp.target != comm.rank() &&
@@ -160,7 +171,7 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
       }
     }
   }
-  if (bound_claims_safe && !targets_ok)
+  if (want_neighborhood && !targets_ok)
     obs::count(ctx.obs(), "redist.fallback", 1.0);
   const bool neighborhood_ok =
       comm.allreduce(targets_ok ? 1 : 0, mpi::OpMin{}) == 1;
@@ -247,6 +258,8 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   result.field = std::move(field);
   result.resort_kind = neighborhood_ok ? redist::ExchangeKind::kSparse
                                        : redist::ExchangeKind::kDense;
+  result.exchange_used = neighborhood_ok ? plan::Exchange::kNeighborhood
+                                         : plan::Exchange::kAllToAll;
   result.times.total = ctx.now() - t0;
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "plan/planner.hpp"
 #include "redist/atasp.hpp"
 #include "spmd_test_util.hpp"
 
@@ -264,6 +265,48 @@ TEST(Obs, DenseAndSparseExchangesRecordDifferentCounters) {
   EXPECT_NE(sparse.second.find("\"mpi.sparse_alltoallv.bytes\""),
             std::string::npos);
   EXPECT_EQ(sparse.second.find("\"mpi.alltoallv.bytes\""), std::string::npos);
+}
+
+TEST(Obs, PlannerDecisionsAndMispredictsReachTheMetricsExport) {
+  // The adaptive planner's audit trail (counters per decision code, probe
+  // count, mispredict counter + rate gauge, decide span) must land in the
+  // same exports every other subsystem uses.
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.recorder = rec;
+  const double makespan = sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    plan::Planner planner(plan::parse_plan_spec("auto"));
+    for (int step = 0; step < 3; ++step) {
+      plan::DecideInputs din;
+      din.n_local = 100;
+      din.max_move = 0.1;
+      din.input_in_solver_order = step > 0;
+      din.volume = 1000.0;
+      const plan::RedistPlan p = planner.decide(comm, din);
+      plan::ObserveInputs oin;
+      oin.t_sort = 1e-4;
+      oin.t_resort = 1e-5;
+      oin.t_restore = 1e-5;
+      oin.resorted = p.method != plan::Method::kA;
+      oin.sparse_resort = p.method == plan::Method::kBMaxMove;
+      planner.observe(comm, oin);
+    }
+  });
+  std::ostringstream trace, metrics;
+  obs::write_chrome_trace(trace, {{"run", rec.get()}});
+  obs::write_metrics_json(metrics, {{"run", makespan, rec.get()}});
+  EXPECT_TRUE(json_valid(trace.str()));
+  EXPECT_TRUE(json_valid(metrics.str()));
+  EXPECT_NE(trace.str().find("\"plan.decide\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"plan.decision\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"plan.decision."), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"plan.mispredict\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"plan.mispredict.rate\""), std::string::npos);
+  // Every decision increments the counter once per rank per step.
+  const auto reduced = rec->reduce_counters();
+  EXPECT_EQ(reduced.at("plan.decision").totals.sum, 4.0 * 3.0);
 }
 
 TEST(Obs, ExportSessionWritesEnvSelectedFiles) {

@@ -413,6 +413,66 @@ TEST(Neighborhood, RejectsDataForNonNeighbor) {
       fcs::Error);
 }
 
+TEST(Neighborhood, AllRanksSilentCompletesWithoutTraffic) {
+  // Degenerate planner-routed input: every rank has zero particles to move.
+  // The exchange must complete collectively with empty results - no hang,
+  // no assert.
+  run_ranks(5, [](mpi::Comm& c) {
+    const int p = c.size();
+    std::vector<int> neighbors = {(c.rank() + 1) % p, (c.rank() + p - 1) % p};
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p), 0);
+    std::vector<double> data;
+    std::vector<std::size_t> rc;
+    auto got = redist::neighborhood_alltoallv(c, neighbors, data.data(),
+                                              counts, rc);
+    EXPECT_TRUE(got.empty());
+    for (std::size_t n : rc) EXPECT_EQ(n, 0u);
+  });
+}
+
+TEST(Neighborhood, EmptyNeighborListKeepsSelfDataOnly) {
+  // A rank whose subdomain has no neighbors with traffic (or a 1-rank run)
+  // may pass an empty neighbor list; local data still passes through.
+  run_ranks(3, [](mpi::Comm& c) {
+    std::vector<int> neighbors;
+    std::vector<std::size_t> counts(3, 0);
+    counts[static_cast<std::size_t>(c.rank())] = 1;
+    std::vector<int> data = {c.rank()};
+    std::vector<std::size_t> rc;
+    auto got = redist::neighborhood_alltoallv(c, neighbors, data.data(),
+                                              counts, rc);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], c.rank());
+  });
+}
+
+TEST(Neighborhood, SecondShellNeighborListCarriesMultiHopTraffic) {
+  // A movement bound spanning more than one subdomain shell: the caller
+  // widens the neighbor list to Chebyshev radius 2 and traffic two
+  // subdomains away must flow - the shell-1 list would reject it as
+  // non-neighbor data (the solvers fall back to the dense exchange in that
+  // case; see redist.fallback).
+  run_ranks(5, [](mpi::Comm& c) {
+    mpi::CartComm cart(c, {5, 1, 1}, {true, true, true});
+    const auto near = cart.neighbors(1);
+    const auto wide = cart.neighbors(2);
+    EXPECT_EQ(near.size(), 2u);
+    EXPECT_EQ(wide.size(), 4u);
+    const int two_away = (c.rank() + 2) % 5;
+    std::vector<std::size_t> counts(5, 0);
+    counts[static_cast<std::size_t>(two_away)] = 1;
+    std::vector<int> data = {10 * c.rank()};
+    std::vector<std::size_t> rc;
+    auto got =
+        redist::neighborhood_alltoallv(c, wide, data.data(), counts, rc);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 10 * ((c.rank() + 3) % 5));
+  });
+}
+
 TEST(Neighborhood, SelfDataPassesThrough) {
   run_ranks(2, [](mpi::Comm& c) {
     std::vector<int> neighbors = {1 - c.rank()};

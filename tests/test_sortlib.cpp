@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "redist/resort.hpp"
 #include "sortlib/local_sort.hpp"
 #include "sortlib/merge_sort.hpp"
 #include "sortlib/partition_sort.hpp"
@@ -313,6 +314,111 @@ TEST_P(ParallelSort, MergeSortReverseSortedWorstCase) {
     const auto before = items;
     sortlib::parallel_sort_merge(c, items, rec_key);
     expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial almost-sorted inputs. The adaptive planner (src/plan) now
+// routes movement-bounded production steps to the merge sort, so its edge
+// cases - duplicate keys straddling rank boundaries, empty ranks, a single
+// particle that must cross the whole machine - are no longer benchmark-only
+// territory.
+
+/// After a sort whose payloads carry redist::make_index(origin rank, origin
+/// position) labels, verify the method-B resort machinery still works on the
+/// outcome: invert_origin_indices accepts the labels (it throws on
+/// duplicates, gaps, and count mismatches, so acceptance proves the sort
+/// kept them a permutation) and routing a per-origin payload through
+/// resort_values lands every value on its particle - the inverse side of
+/// the permutation.
+void expect_resort_roundtrip(mpi::Comm& c, const std::vector<Rec>& after,
+                             std::size_t n_original) {
+  std::vector<std::uint64_t> origin_of_current(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    origin_of_current[i] = after[i].payload;
+  const auto resort = redist::invert_origin_indices(
+      c, origin_of_current, n_original, redist::ExchangeKind::kSparse);
+  ASSERT_EQ(resort.size(), n_original);
+  std::vector<std::int64_t> tags(n_original);
+  for (std::size_t i = 0; i < n_original; ++i)
+    tags[i] = static_cast<std::int64_t>(redist::make_index(c.rank(), i));
+  const auto moved = redist::resort_values(c, resort, tags, 1, after.size(),
+                                           redist::ExchangeKind::kSparse);
+  ASSERT_EQ(moved.size(), after.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_EQ(static_cast<std::uint64_t>(moved[i]), after[i].payload);
+}
+
+TEST_P(ParallelSort, MergeSortDuplicateKeysAcrossRankBoundaries) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Rank r holds keys r*100 .. (r+1)*100 INCLUSIVE, interleaved locally,
+    // so both edge keys are duplicated on the two adjacent ranks. Equal
+    // boundary keys must read as already-ordered: no bulk exchange, and the
+    // stable local sort's payload order survives.
+    std::vector<Rec> items(202);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      items[i].key = 100ull * static_cast<std::uint64_t>(c.rank()) + i % 101;
+      items[i].payload = redist::make_index(c.rank(), i);
+    }
+    const auto before = items;
+    const auto stats = sortlib::parallel_sort_merge(c, items, rec_key);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+    // The boundary probe compares the low rank's max key against the high
+    // rank's min; equal keys must not trigger a pointless data exchange.
+    EXPECT_EQ(stats.exchanges, 0u);
+    EXPECT_EQ(stats.fallback_rounds, 0u);
+    // Stability: nothing left the rank, so equal keys must keep their
+    // original relative order (ascending payload).
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      if (items[i - 1].key == items[i].key) {
+        EXPECT_LT(items[i - 1].payload, items[i].payload);
+      }
+    }
+    expect_resort_roundtrip(c, items, before.size());
+  });
+}
+
+TEST_P(ParallelSort, MergeSortEmptyRanksKeepResortIndicesInvertible) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // Empty ranks interleaved with loaded ones, few distinct keys so
+    // duplicates straddle every boundary the data does cross.
+    const std::size_t n = (c.rank() % 3 == 1) ? 0 : 60 + 7 * (c.rank() % 5);
+    std::vector<Rec> items(n);
+    fcs::Rng rng = fcs::Rng(41).stream(c.rank());
+    for (std::size_t i = 0; i < n; ++i)
+      items[i] = {rng() % 16, redist::make_index(c.rank(), i)};
+    const auto before = items;
+    sortlib::parallel_sort_merge(c, items, rec_key);
+    EXPECT_EQ(items.size(), n);  // counts fixed: empty ranks stay empty
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+    expect_resort_roundtrip(c, items, n);
+  });
+}
+
+TEST_P(ParallelSort, MergeSortSingleParticleMigratesTheFullRing) {
+  const int p = GetParam();
+  run_ranks(p, [p](mpi::Comm& c) {
+    // One record per rank; rank 0 holds the globally largest key while all
+    // others are already in order. Sorting must walk that one record across
+    // every rank boundary and shift everyone else down by one.
+    std::vector<Rec> items = {
+        {c.rank() == 0 ? 1000ull * static_cast<std::uint64_t>(p)
+                       : static_cast<std::uint64_t>(c.rank()),
+         redist::make_index(c.rank(), 0)}};
+    const auto before = items;
+    sortlib::parallel_sort_merge(c, items, rec_key);
+    ASSERT_EQ(items.size(), 1u);
+    expect_globally_sorted(c, before, items, /*check_balanced=*/false);
+    if (c.rank() == p - 1) {
+      EXPECT_EQ(items[0].key, 1000ull * static_cast<std::uint64_t>(p));
+      EXPECT_EQ(items[0].payload, redist::make_index(0, 0));
+    } else {
+      EXPECT_EQ(items[0].key, static_cast<std::uint64_t>(c.rank() + 1));
+      EXPECT_EQ(items[0].payload, redist::make_index(c.rank() + 1, 0));
+    }
+    expect_resort_roundtrip(c, items, 1);
   });
 }
 
