@@ -83,12 +83,19 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   const bool planned = planner_ != nullptr && planner_->active();
   bool want_resort = options.resort;
   double bound = options.max_particle_move;
+  // Extra per-particle fields the app resorted since the previous run: with
+  // fusion they ride the planned exchange at marginal cost, without it each
+  // one pays a full exchange - the planner's cost model needs to know.
+  const std::size_t extra_fields = resort_field_count_;
+  resort_field_count_ = 0;
   if (planned) {
     plan::DecideInputs din;
     din.n_local = positions.size();
     din.max_move = options.max_particle_move;
     din.input_in_solver_order = last_resorted_;
     din.volume = box_.volume();
+    din.extra_fields = static_cast<double>(extra_fields);
+    din.fused_exchange = redist::fuse_enabled();
     rplan = planner_->decide(comm_, din);
     want_resort = rplan.method != plan::Method::kA;
     // Only the movement-bound arm exploits the bound: methods A and B must
@@ -155,6 +162,14 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       resort_n_original_ = n_original;
       resort_n_changed_ = solved.positions.size();
       resort_kind_ = solved.resort_kind;
+      // The reusable schedule for all subsequent per-field resorts: built
+      // with zero communication from the two index arrays already in hand.
+      if (redist::fuse_enabled())
+        resort_plan_ = redist::ResortPlan::build(comm_, resort_indices_,
+                                                 solved.origin,
+                                                 solved.resort_kind);
+      else
+        resort_plan_.reset();
       positions = std::move(solved.positions);
       charges = std::move(solved.charges);
       potentials = std::move(solved.potentials);
@@ -192,6 +207,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
     }
     last_resorted_ = false;
     resort_indices_.clear();
+    resort_plan_.reset();
     resort_n_changed_ = n_original;
   }
   // Method A leaves positions/charges untouched, so count conservation is
@@ -207,23 +223,108 @@ void Fcs::resort_floats(std::vector<double>& values,
                         std::size_t components) const {
   FCS_CHECK(last_resorted_,
             "resort_floats: the last run did not return the changed order");
-  values = redist::resort_values(comm_, resort_indices_, values, components,
-                                 resort_n_changed_, resort_kind_);
+  ++resort_field_count_;
+  values = resort_plan_.valid()
+               ? resort_plan_.resort(comm_, values, components)
+               : redist::resort_values(comm_, resort_indices_, values,
+                                       components, resort_n_changed_,
+                                       resort_kind_);
 }
 
 void Fcs::resort_ints(std::vector<std::int64_t>& values,
                       std::size_t components) const {
   FCS_CHECK(last_resorted_,
             "resort_ints: the last run did not return the changed order");
-  values = redist::resort_values(comm_, resort_indices_, values, components,
-                                 resort_n_changed_, resort_kind_);
+  ++resort_field_count_;
+  values = resort_plan_.valid()
+               ? resort_plan_.resort(comm_, values, components)
+               : redist::resort_values(comm_, resort_indices_, values,
+                                       components, resort_n_changed_,
+                                       resort_kind_);
 }
 
 void Fcs::resort_vec3(std::vector<domain::Vec3>& values) const {
   FCS_CHECK(last_resorted_,
             "resort_vec3: the last run did not return the changed order");
-  values = redist::resort_values(comm_, resort_indices_, values, 1,
-                                 resort_n_changed_, resort_kind_);
+  ++resort_field_count_;
+  values = resort_plan_.valid()
+               ? resort_plan_.resort(comm_, values, 1)
+               : redist::resort_values(comm_, resort_indices_, values, 1,
+                                       resort_n_changed_, resort_kind_);
+}
+
+ResortBatch Fcs::resort_batch() {
+  FCS_CHECK(last_resorted_,
+            "resort_batch: the last run did not return the changed order");
+  return ResortBatch(*this);
+}
+
+ResortBatch& ResortBatch::add_floats(std::vector<double>& values,
+                                     std::size_t components) {
+  fields_.push_back(Field{Kind::kFloats, &values, components});
+  return *this;
+}
+
+ResortBatch& ResortBatch::add_ints(std::vector<std::int64_t>& values,
+                                   std::size_t components) {
+  fields_.push_back(Field{Kind::kInts, &values, components});
+  return *this;
+}
+
+ResortBatch& ResortBatch::add_vec3(std::vector<domain::Vec3>& values) {
+  fields_.push_back(Field{Kind::kVec3, &values, 1});
+  return *this;
+}
+
+void ResortBatch::run() {
+  if (fields_.empty()) return;
+  Fcs& fcs = *fcs_;
+  FCS_CHECK(fcs.last_resorted_,
+            "ResortBatch::run: the last run did not return the changed order");
+  if (!fcs.resort_plan_.valid()) {
+    // Fusion off: the legacy path, one full exchange per field.
+    for (const Field& f : fields_) {
+      switch (f.kind) {
+        case Kind::kFloats:
+          fcs.resort_floats(*static_cast<std::vector<double>*>(f.vec),
+                            f.components);
+          break;
+        case Kind::kInts:
+          fcs.resort_ints(*static_cast<std::vector<std::int64_t>*>(f.vec),
+                          f.components);
+          break;
+        case Kind::kVec3:
+          fcs.resort_vec3(*static_cast<std::vector<domain::Vec3>*>(f.vec));
+          break;
+      }
+    }
+    fields_.clear();
+    return;
+  }
+  fcs.resort_field_count_ += fields_.size();
+  redist::FusedBatch batch(fcs.comm_, fcs.resort_plan_.plan(),
+                           fcs.resort_plan_.placement());
+  for (const Field& f : fields_) {
+    switch (f.kind) {
+      case Kind::kFloats: {
+        auto* v = static_cast<std::vector<double>*>(f.vec);
+        batch.add(*v, f.components, *v);
+        break;
+      }
+      case Kind::kInts: {
+        auto* v = static_cast<std::vector<std::int64_t>*>(f.vec);
+        batch.add(*v, f.components, *v);
+        break;
+      }
+      case Kind::kVec3: {
+        auto* v = static_cast<std::vector<domain::Vec3>*>(f.vec);
+        batch.add(*v, f.components, *v);
+        break;
+      }
+    }
+  }
+  batch.execute();
+  fields_.clear();
 }
 
 }  // namespace fcs

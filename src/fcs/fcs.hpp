@@ -26,8 +26,44 @@
 #include "fcs/solver.hpp"
 #include "lb/lb.hpp"
 #include "plan/planner.hpp"
+#include "redist/resort.hpp"
 
 namespace fcs {
+
+class Fcs;
+
+/// Batches several per-particle fields onto the active resort plan so they
+/// travel in ONE fused exchange - a single multi-segment message per partner
+/// pair - instead of one full exchange per field. With fusion disabled
+/// (FCS_EXCHANGE_FUSE=0) run() falls back to the legacy per-field
+/// exchanges; results are bit-identical either way.
+///
+///   fcs::ResortBatch batch = handle.resort_batch();
+///   batch.add_vec3(particles.vel).add_vec3(particles.acc);
+///   batch.run();
+class ResortBatch {
+ public:
+  /// Queue `components` doubles per original particle; `values` is replaced
+  /// (resized to the changed count) by run().
+  ResortBatch& add_floats(std::vector<double>& values, std::size_t components);
+  ResortBatch& add_ints(std::vector<std::int64_t>& values,
+                        std::size_t components);
+  ResortBatch& add_vec3(std::vector<domain::Vec3>& values);
+  /// Execute the exchange(s). Collective; the batch is empty afterwards.
+  void run();
+
+ private:
+  friend class Fcs;
+  explicit ResortBatch(Fcs& fcs) : fcs_(&fcs) {}
+  enum class Kind { kFloats, kInts, kVec3 };
+  struct Field {
+    Kind kind;
+    void* vec;
+    std::size_t components;
+  };
+  Fcs* fcs_;
+  std::vector<Field> fields_;
+};
 
 /// Create a solver by name: "fmm", "pm" (alias "p2nfft"), or "direct".
 std::unique_ptr<Solver> create_solver(const std::string& method);
@@ -105,7 +141,17 @@ class Fcs {
   /// Convenience for Vec3-per-particle data (velocities, accelerations).
   void resort_vec3(std::vector<domain::Vec3>& values) const;
 
+  /// Start a fused multi-field resort (see ResortBatch). Only valid while
+  /// last_run_resorted().
+  ResortBatch resort_batch();
+
+  /// The reusable exchange schedule of the last method-B run (invalid when
+  /// fusion is off or the last run restored). Exposed for tests and
+  /// benchmarks.
+  const redist::ResortPlan& resort_plan() const { return resort_plan_; }
+
  private:
+  friend class ResortBatch;
   mpi::Comm comm_;
   std::unique_ptr<Solver> solver_;
   std::unique_ptr<lb::Balancer> balancer_;
@@ -116,6 +162,11 @@ class Fcs {
   std::size_t resort_n_changed_ = 0;
   std::vector<std::uint64_t> resort_indices_;
   redist::ExchangeKind resort_kind_ = redist::ExchangeKind::kDense;
+  redist::ResortPlan resort_plan_;
+  // Fields the application resorted since the previous run (mutable: the
+  // resort methods are const; the count only feeds the planner's cost
+  // model, where fused extra fields are marginal-cost).
+  mutable std::size_t resort_field_count_ = 0;
 };
 
 }  // namespace fcs

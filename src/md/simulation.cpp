@@ -100,8 +100,9 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     obs::Span init_span(ctx, "md.init");
     rr = handle.run(particles.pos, particles.q, phi, field, ropts);
     if (rr.resorted) {
-      handle.resort_vec3(particles.vel);
-      handle.resort_vec3(particles.acc);
+      fcs::ResortBatch batch = handle.resort_batch();
+      batch.add_vec3(particles.vel).add_vec3(particles.acc);
+      batch.run();
     }
     particles.acc = accelerations_from_field(particles.q, field);
   }
@@ -151,8 +152,9 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
 
     rr = handle.run(particles.pos, particles.q, phi, field, ropts);
     if (rr.resorted) {
-      handle.resort_vec3(particles.vel);
-      handle.resort_vec3(particles.acc);
+      fcs::ResortBatch batch = handle.resort_batch();
+      batch.add_vec3(particles.vel).add_vec3(particles.acc);
+      batch.run();
     }
     const std::vector<Vec3> new_acc =
         accelerations_from_field(particles.q, field);

@@ -1,0 +1,72 @@
+#include "minimpi/buffer_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace mpi {
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+BufferPool::BufferPool()
+    : max_buffers_(env_or("FCS_POOL_MAX_BUFFERS", 16)),
+      max_bytes_(env_or("FCS_POOL_MAX_BYTES", 64ULL << 20)) {}
+
+std::vector<std::byte> BufferPool::acquire(std::size_t bytes,
+                                           obs::RankObs* o) {
+  obs::count(o, "pool.acquire", 1.0);
+  obs::count(o, "pool.bytes", static_cast<double>(bytes));
+  if (bytes == 0) return {};
+
+  // Best fit: the smallest retained buffer whose capacity suffices.
+  std::size_t best = free_.size();
+  std::size_t largest = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const std::size_t cap = free_[i].capacity();
+    if (cap >= bytes && (best == free_.size() || cap < free_[best].capacity()))
+      best = i;
+    if (largest == free_.size() || cap > free_[largest].capacity())
+      largest = i;
+  }
+  // No fit: grow the largest retained buffer instead of allocating fresh, so
+  // a workload with slowly growing messages converges to one big buffer.
+  const std::size_t take = best != free_.size() ? best : largest;
+  std::vector<std::byte> buf;
+  if (take != free_.size()) {
+    buf = std::move(free_[take]);
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(take));
+    retained_bytes_ -= buf.capacity();
+  }
+  if (buf.capacity() >= bytes) {
+    obs::count(o, "pool.reuse", 1.0);
+  } else {
+    obs::count(o, "pool.alloc", 1.0);
+    // Round the new capacity up to a power of two: fluctuating message sizes
+    // settle into a capacity class after a handful of steps instead of
+    // re-growing on every new high-water mark.
+    std::size_t cap2 = 256;
+    while (cap2 < bytes) cap2 *= 2;
+    buf.reserve(cap2);
+  }
+  buf.resize(bytes);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::byte>&& buf, obs::RankObs* o) {
+  (void)o;
+  const std::size_t cap = buf.capacity();
+  if (cap == 0) return;
+  if (free_.size() >= max_buffers_ || retained_bytes_ + cap > max_bytes_)
+    return;  // pool full: let the buffer free itself
+  retained_bytes_ += cap;
+  free_.push_back(std::move(buf));
+}
+
+}  // namespace mpi

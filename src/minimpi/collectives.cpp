@@ -395,6 +395,124 @@ std::vector<std::byte> Comm::alltoallv_bytes(
   return out;
 }
 
+void Comm::alltoallv_bytes_known(const void* in,
+                                 const std::vector<std::size_t>& send_bytes,
+                                 const std::vector<std::size_t>& recv_bytes,
+                                 void* out) const {
+  obs::Span span(ctx_->obs(), "mpi.alltoallv_known");
+  obs::count(ctx_->obs(), "mpi.alltoallv_known.calls", 1.0);
+  const int p = size();
+  const int r = rank();
+  FCS_CHECK(static_cast<int>(send_bytes.size()) == p &&
+                static_cast<int>(recv_bytes.size()) == p,
+            "alltoallv_known needs one send and one recv size per rank");
+  const std::uint64_t tag = next_collective_tag(kOpAlltoallv);
+
+  // Same fabric model as the data phase of alltoallv_bytes: the dense
+  // exchange touches every pair and contends for the bisection; only the
+  // counts transpose is gone because both sides already know the sizes.
+  std::size_t total_send = 0;
+  for (int i = 0; i < p; ++i)
+    if (i != r) total_send += send_bytes[static_cast<std::size_t>(i)];
+  obs::count(ctx_->obs(), "mpi.alltoallv_known.bytes",
+             static_cast<double>(total_send));
+  ctx_->advance(
+      ctx_->config().network->dense_exchange_latency(ctx_->rank(), p) +
+      static_cast<double>(total_send) *
+          ctx_->config().network->dense_exchange_byte_time(p));
+
+  std::vector<std::size_t> send_offsets(static_cast<std::size_t>(p) + 1, 0);
+  std::vector<std::size_t> recv_offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i) {
+    send_offsets[static_cast<std::size_t>(i) + 1] =
+        send_offsets[static_cast<std::size_t>(i)] + send_bytes[static_cast<std::size_t>(i)];
+    recv_offsets[static_cast<std::size_t>(i) + 1] =
+        recv_offsets[static_cast<std::size_t>(i)] + recv_bytes[static_cast<std::size_t>(i)];
+  }
+  FCS_CHECK(send_bytes[static_cast<std::size_t>(r)] ==
+                recv_bytes[static_cast<std::size_t>(r)],
+            "alltoallv_known: self send/recv size mismatch");
+
+  if (send_bytes[static_cast<std::size_t>(r)] > 0)
+    std::memcpy(as_bytes(out) + recv_offsets[static_cast<std::size_t>(r)],
+                as_bytes(in) + send_offsets[static_cast<std::size_t>(r)],
+                send_bytes[static_cast<std::size_t>(r)]);
+
+  for (int i = 0; i < p; ++i) {
+    if (i == r || send_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    ctx_->send(world_rank(i), tag,
+               as_bytes(in) + send_offsets[static_cast<std::size_t>(i)],
+               send_bytes[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < p; ++i) {
+    if (i == r || recv_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    sim::RankCtx::RecvInfo info =
+        ctx_->recv(world_rank(i), static_cast<std::int64_t>(tag));
+    FCS_CHECK(info.payload.size() == recv_bytes[static_cast<std::size_t>(i)],
+              "alltoallv_known data size mismatch from rank " << i);
+    std::memcpy(as_bytes(out) + recv_offsets[static_cast<std::size_t>(i)],
+                info.payload.data(), info.payload.size());
+  }
+}
+
+void Comm::sparse_alltoallv_bytes_known(
+    const void* in, const std::vector<std::size_t>& send_bytes,
+    const std::vector<std::size_t>& recv_bytes, void* out) const {
+  obs::Span span(ctx_->obs(), "mpi.sparse_alltoallv_known");
+  const int p = size();
+  const int r = rank();
+  FCS_CHECK(static_cast<int>(send_bytes.size()) == p &&
+                static_cast<int>(recv_bytes.size()) == p,
+            "sparse_alltoallv_known needs one send and one recv size per rank");
+  if (obs::RankObs* const o = ctx_->obs(); o != nullptr) {
+    double moved = 0.0;
+    double partners = 0.0;
+    for (int i = 0; i < p; ++i) {
+      if (i == r || send_bytes[static_cast<std::size_t>(i)] == 0) continue;
+      moved += static_cast<double>(send_bytes[static_cast<std::size_t>(i)]);
+      partners += 1.0;
+    }
+    o->add("mpi.sparse_alltoallv_known.calls", 1.0);
+    o->add("mpi.sparse_alltoallv_known.bytes", moved);
+    o->add("mpi.sparse_alltoallv_known.partners", partners);
+  }
+  const std::uint64_t tag = next_collective_tag(kOpSparse);
+
+  std::vector<std::size_t> send_offsets(static_cast<std::size_t>(p) + 1, 0);
+  std::vector<std::size_t> recv_offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i) {
+    send_offsets[static_cast<std::size_t>(i) + 1] =
+        send_offsets[static_cast<std::size_t>(i)] + send_bytes[static_cast<std::size_t>(i)];
+    recv_offsets[static_cast<std::size_t>(i) + 1] =
+        recv_offsets[static_cast<std::size_t>(i)] + recv_bytes[static_cast<std::size_t>(i)];
+  }
+  FCS_CHECK(send_bytes[static_cast<std::size_t>(r)] ==
+                recv_bytes[static_cast<std::size_t>(r)],
+            "sparse_alltoallv_known: self send/recv size mismatch");
+  if (send_bytes[static_cast<std::size_t>(r)] > 0)
+    std::memcpy(as_bytes(out) + recv_offsets[static_cast<std::size_t>(r)],
+                as_bytes(in) + send_offsets[static_cast<std::size_t>(r)],
+                send_bytes[static_cast<std::size_t>(r)]);
+
+  // Both partner sets are known from the plan, so no NBX barrier is needed:
+  // sends are eager, and each expected message is received directly.
+  for (int i = 0; i < p; ++i) {
+    if (i == r || send_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    ctx_->send(world_rank(i), tag,
+               as_bytes(in) + send_offsets[static_cast<std::size_t>(i)],
+               send_bytes[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < p; ++i) {
+    if (i == r || recv_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    sim::RankCtx::RecvInfo info =
+        ctx_->recv(world_rank(i), static_cast<std::int64_t>(tag));
+    FCS_CHECK(info.payload.size() == recv_bytes[static_cast<std::size_t>(i)],
+              "sparse_alltoallv_known data size mismatch from rank " << i);
+    std::memcpy(as_bytes(out) + recv_offsets[static_cast<std::size_t>(i)],
+                info.payload.data(), info.payload.size());
+  }
+}
+
 std::vector<std::byte> Comm::sparse_alltoallv_bytes(
     const void* in, const std::vector<std::size_t>& send_bytes,
     std::vector<std::size_t>& recv_bytes) const {

@@ -25,6 +25,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "minimpi/buffer_pool.hpp"
 #include "sim/engine.hpp"
 #include "support/error.hpp"
 
@@ -102,6 +103,12 @@ class Comm {
   /// World rank of communicator rank r (exposed for the network-aware
   /// heuristics and diagnostics).
   int world_rank(int r) const;
+
+  /// Communicator-level scratch-buffer pool (per rank, shared by all copies
+  /// of this communicator). The redistribution layer stages packed exchange
+  /// payloads here so steady-state steps allocate nothing (see
+  /// buffer_pool.hpp).
+  BufferPool& pool() const { return group_->pool; }
 
   // --- typed point-to-point ------------------------------------------------
 
@@ -348,6 +355,25 @@ class Comm {
       const void* in, const std::vector<std::size_t>& send_bytes,
       std::vector<std::size_t>& recv_bytes) const;
 
+  /// Dense data exchange with KNOWN per-source receive sizes (from a reusable
+  /// redist::ExchangePlan): skips the counts transpose of alltoallv_bytes but
+  /// is charged the same dense fabric latency and contention for the data
+  /// movement. `out` must hold sum(recv_bytes); data lands grouped by source
+  /// rank, exactly like alltoallv_bytes.
+  void alltoallv_bytes_known(const void* in,
+                             const std::vector<std::size_t>& send_bytes,
+                             const std::vector<std::size_t>& recv_bytes,
+                             void* out) const;
+
+  /// Sparse exchange with KNOWN sizes: sends go straight to the non-empty
+  /// partners and receives come straight from the known sources - no NBX
+  /// barrier round, which is what makes a reused plan cheaper than
+  /// sparse_alltoallv_bytes.
+  void sparse_alltoallv_bytes_known(const void* in,
+                                    const std::vector<std::size_t>& send_bytes,
+                                    const std::vector<std::size_t>& recv_bytes,
+                                    void* out) const;
+
   using CombineFn = void (*)(void* inout, const void* in, std::size_t count,
                              const void* op);
   void reduce_bytes(const void* in, void* out, std::size_t count,
@@ -362,6 +388,10 @@ class Comm {
     std::uint64_t next_child_seq = 1;
     // Lazily built inverse of world_ranks for O(1) source translation.
     mutable std::vector<std::pair<int, int>> world_to_comm_sorted;
+    // Scratch buffers for the exchange path (per rank; Groups are not shared
+    // across ranks). Mutable for the same reason as the index above: reusing
+    // scratch does not change the communicator's observable state.
+    mutable BufferPool pool;
   };
 
   /// Communicator rank of an engine (world) rank; O(log size).

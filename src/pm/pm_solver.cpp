@@ -185,12 +185,16 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
     std::vector<std::size_t> offsets(send_counts.size() + 1, 0);
     for (std::size_t d = 0; d < send_counts.size(); ++d)
       offsets[d + 1] = offsets[d] + send_counts[d];
-    std::vector<PmParticle> packed(offsets.back());
+    // Destination-major packing staged in the communicator's buffer pool -
+    // steady-state neighborhood steps reuse the same scratch allocation.
+    mpi::PooledBuffer packed(comm.pool(), offsets.back() * sizeof(PmParticle),
+                             ctx.obs());
+    PmParticle* const pk = reinterpret_cast<PmParticle*>(packed.data());
     std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const Copy& cp : copies)
-      packed[cursor[static_cast<std::size_t>(cp.target)]++] = cp.particle;
+      pk[cursor[static_cast<std::size_t>(cp.target)]++] = cp.particle;
     std::vector<std::size_t> recv_counts;
-    received = redist::neighborhood_alltoallv(comm, neighbors, packed.data(),
+    received = redist::neighborhood_alltoallv(comm, neighbors, pk,
                                               send_counts, recv_counts);
   } else {
     std::vector<PmParticle> plain(copies.size());

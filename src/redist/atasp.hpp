@@ -15,6 +15,13 @@
 //              synchronized by one dissemination barrier. This is the
 //              "neighborhood communication" unlocked by the max-movement
 //              information in the paper's method B.
+//
+// Since the exchange-plan rework this is a thin wrapper over
+// redist::ExchangePlan (exchange_plan.hpp): the plan caches each item's
+// targets, so the distribution function is evaluated exactly ONCE per item,
+// and the packed staging buffer comes from the communicator's BufferPool.
+// Callers that reuse the schedule for further payloads receive the plan via
+// `plan_out`.
 #pragma once
 
 #include <cstdint>
@@ -23,70 +30,52 @@
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
 #include "redist/conserve.hpp"
+#include "redist/exchange_plan.hpp"
 
 namespace redist {
 
-enum class ExchangeKind { kDense, kSparse };
-
 /// Redistribute `items`: dist(item, index, targets) appends the destination
 /// rank(s) of the item to `targets` (pre-cleared; more than one = ghost
-/// duplicates). The function must be pure: it is evaluated twice per item
-/// (count pass + pack pass), which is why it also receives the item index -
-/// callers with precomputed target lists index into them. Returns the
+/// duplicates). dist is evaluated exactly once per item. Returns the
 /// received elements grouped by source rank; `recv_counts`, if non-null,
-/// receives the per-source counts.
+/// receives the per-source counts; `plan_out`, if non-null, receives the
+/// reusable exchange plan (counts known, ready for apply()/FusedBatch).
 template <class T, class DistFn>
 std::vector<T> fine_grained_redistribute(
     const mpi::Comm& comm, const std::vector<T>& items, DistFn dist,
-    ExchangeKind kind, std::vector<std::size_t>* recv_counts_out = nullptr) {
+    ExchangeKind kind, std::vector<std::size_t>* recv_counts_out = nullptr,
+    ExchangePlan* plan_out = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   obs::Span span(comm.ctx().obs(), "redist.fine_grained");
-  const int p = comm.size();
 
-  // Pass 1: count per destination.
-  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), 0);
-  std::vector<int> targets;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    targets.clear();
-    dist(items[i], i, targets);
-    for (int t : targets) {
-      FCS_CHECK(t >= 0 && t < p, "distribution function returned rank "
-                    << t << " outside the communicator (size " << p << ")");
-      ++send_counts[static_cast<std::size_t>(t)];
-    }
-  }
+  ExchangePlan plan = ExchangePlan::build(
+      comm, items.size(),
+      [&](std::size_t i, std::vector<int>& targets) {
+        dist(items[i], i, targets);
+      },
+      kind);
+  std::vector<T> received = plan.exchange_initial(comm, items.data());
 
-  // Pass 2: pack into destination-major order.
-  std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
-  for (int d = 0; d < p; ++d)
-    offsets[static_cast<std::size_t>(d) + 1] =
-        offsets[static_cast<std::size_t>(d)] + send_counts[static_cast<std::size_t>(d)];
-  std::vector<T> packed(offsets.back());
-  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    targets.clear();
-    dist(items[i], i, targets);
-    for (int t : targets) packed[cursor[static_cast<std::size_t>(t)]++] = items[i];
-  }
-
-  std::vector<std::size_t> recv_counts;
-  std::vector<T> received =
-      kind == ExchangeKind::kDense
-          ? comm.alltoallv(packed.data(), send_counts, recv_counts)
-          : comm.sparse_alltoallv(packed.data(), send_counts, recv_counts);
-  if (validation_enabled())
+  if (validation_enabled()) {
+    // Order-independent wrap-sum: hashing the sent elements one by one
+    // through the slot map gives the same total as hashing the packed
+    // buffer.
+    std::uint64_t sent_sum = 0;
+    for (std::uint32_t src : plan.slot_src())
+      sent_sum += content_checksum(&items[src], 1, sizeof(T));
     validate_exchange(
-        comm, "fine_grained_redistribute", packed.size(),
-        content_checksum(packed.data(), packed.size(), sizeof(T)),
+        comm, "fine_grained_redistribute", plan.n_send_slots(), sent_sum,
         received.size(),
         content_checksum(received.data(), received.size(), sizeof(T)));
+  }
   if (obs::RankObs* const o = comm.ctx().obs(); o != nullptr) {
     const bool dense = kind == ExchangeKind::kDense;
-    const std::size_t self = send_counts[static_cast<std::size_t>(comm.rank())];
-    const std::size_t moved = packed.size() - self;
+    const std::size_t self =
+        plan.send_counts()[static_cast<std::size_t>(comm.rank())];
+    const std::size_t moved = plan.n_send_slots() - self;
     o->add(dense ? "redist.dense.calls" : "redist.sparse.calls", 1.0);
     o->add(dense ? "redist.dense.elements_out" : "redist.sparse.elements_out",
-           static_cast<double>(packed.size()));
+           static_cast<double>(plan.n_send_slots()));
     o->add(dense ? "redist.dense.elements_moved"
                  : "redist.sparse.elements_moved",
            static_cast<double>(moved));
@@ -95,7 +84,8 @@ std::vector<T> fine_grained_redistribute(
     o->add(dense ? "redist.dense.elements_in" : "redist.sparse.elements_in",
            static_cast<double>(received.size()));
   }
-  if (recv_counts_out != nullptr) *recv_counts_out = std::move(recv_counts);
+  if (recv_counts_out != nullptr) *recv_counts_out = plan.recv_counts();
+  if (plan_out != nullptr) *plan_out = std::move(plan);
   return received;
 }
 

@@ -1,0 +1,231 @@
+#include "redist/exchange_plan.hpp"
+
+#include <cstdlib>
+
+namespace redist {
+
+namespace {
+
+int g_fuse_override = -1;
+
+bool env_fuse() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FCS_EXCHANGE_FUSE");
+    return v == nullptr || v[0] == '\0' || v[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool fuse_enabled() {
+  if (g_fuse_override >= 0) return g_fuse_override != 0;
+  return env_fuse();
+}
+
+void set_exchange_fuse(int enabled) { g_fuse_override = enabled; }
+
+void ExchangePlan::set_recv_counts(std::vector<std::size_t> recv_counts) {
+  FCS_CHECK(static_cast<int>(recv_counts.size()) == nranks_,
+            "ExchangePlan: need one receive count per rank");
+  recv_counts_ = std::move(recv_counts);
+  recv_offsets_.assign(static_cast<std::size_t>(nranks_) + 1, 0);
+  for (int i = 0; i < nranks_; ++i)
+    recv_offsets_[static_cast<std::size_t>(i) + 1] =
+        recv_offsets_[static_cast<std::size_t>(i)] +
+        recv_counts_[static_cast<std::size_t>(i)];
+  counts_known_ = true;
+}
+
+void ExchangePlan::negotiate(const mpi::Comm& comm) {
+  const int p = nranks_;
+  if (kind_ == ExchangeKind::kDense) {
+    std::vector<std::uint64_t> sc(send_counts_.begin(), send_counts_.end());
+    std::vector<std::uint64_t> rc(static_cast<std::size_t>(p));
+    comm.alltoall(sc.data(), 1, rc.data());
+    set_recv_counts(std::vector<std::size_t>(rc.begin(), rc.end()));
+    return;
+  }
+  // Sparse: NBX-style count exchange - only non-empty partners send their
+  // count; absent partners contribute zero.
+  std::vector<std::uint64_t> payload(static_cast<std::size_t>(p));
+  std::vector<std::size_t> send_bytes(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i) {
+    payload[static_cast<std::size_t>(i)] =
+        send_counts_[static_cast<std::size_t>(i)];
+    if (send_counts_[static_cast<std::size_t>(i)] > 0)
+      send_bytes[static_cast<std::size_t>(i)] = sizeof(std::uint64_t);
+  }
+  // Compact the non-empty counts (sparse_alltoallv_bytes packs by offset).
+  std::vector<std::byte> dense(static_cast<std::size_t>(p) *
+                               sizeof(std::uint64_t));
+  std::size_t pos = 0;
+  for (int i = 0; i < p; ++i) {
+    if (send_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    std::memcpy(dense.data() + pos, &payload[static_cast<std::size_t>(i)],
+                sizeof(std::uint64_t));
+    pos += sizeof(std::uint64_t);
+  }
+  std::vector<std::size_t> recv_bytes;
+  std::vector<std::byte> raw =
+      comm.sparse_alltoallv_bytes(dense.data(), send_bytes, recv_bytes);
+  std::vector<std::size_t> rc(static_cast<std::size_t>(p), 0);
+  pos = 0;
+  for (int i = 0; i < p; ++i) {
+    if (recv_bytes[static_cast<std::size_t>(i)] == 0) continue;
+    FCS_CHECK(recv_bytes[static_cast<std::size_t>(i)] == sizeof(std::uint64_t),
+              "ExchangePlan::negotiate: malformed count message");
+    std::uint64_t c = 0;
+    std::memcpy(&c, raw.data() + pos, sizeof c);
+    rc[static_cast<std::size_t>(i)] = static_cast<std::size_t>(c);
+    pos += sizeof(std::uint64_t);
+  }
+  set_recv_counts(std::move(rc));
+}
+
+void ExchangePlan::run_known(const mpi::Comm& comm, const std::byte* packed,
+                             std::byte* out) const {
+  if (kind_ == ExchangeKind::kDense)
+    comm.alltoallv_bytes_known(packed, send_bytes_scratch_,
+                               recv_bytes_scratch_, out);
+  else
+    comm.sparse_alltoallv_bytes_known(packed, send_bytes_scratch_,
+                                      recv_bytes_scratch_, out);
+}
+
+void FusedBatch::execute() {
+  if (segments_.empty()) return;
+  const ExchangePlan& plan = *plan_;
+  FCS_CHECK(plan.counts_known(),
+            "FusedBatch: plan receive counts not known yet");
+  const mpi::Comm& comm = *comm_;
+  obs::RankObs* const o = comm.ctx().obs();
+  const int p = plan.nranks_;
+  const int r = comm.rank();
+  const std::size_t nseg = segments_.size();
+  FCS_CHECK(nseg <= 0xffff, "FusedBatch: too many segments");
+  std::size_t payload_bytes = 0;  // per item, across all segments
+  for (const Segment& s : segments_) payload_bytes += s.item_bytes;
+
+  // Per-partner message size: one header plus nseg back-to-back segments.
+  auto msg_bytes = [&](std::size_t items) {
+    return items > 0 ? sizeof(Header) + items * payload_bytes : 0;
+  };
+  ExchangePlan::scratch_counts(plan.send_counts_, 1, plan.send_bytes_scratch_);
+  ExchangePlan::scratch_counts(plan.recv_counts_, 1, plan.recv_bytes_scratch_);
+  std::size_t send_total = 0;
+  std::size_t recv_total = 0;
+  for (int i = 0; i < p; ++i) {
+    plan.send_bytes_scratch_[static_cast<std::size_t>(i)] =
+        msg_bytes(plan.send_counts_[static_cast<std::size_t>(i)]);
+    plan.recv_bytes_scratch_[static_cast<std::size_t>(i)] =
+        msg_bytes(plan.recv_counts_[static_cast<std::size_t>(i)]);
+    send_total += plan.send_bytes_scratch_[static_cast<std::size_t>(i)];
+    recv_total += plan.recv_bytes_scratch_[static_cast<std::size_t>(i)];
+  }
+
+  // Pack: destination-major, one header + nseg segments per partner. All
+  // sources are read before any output vector is touched, so out MAY alias
+  // a segment's input.
+  mpi::PooledBuffer send_buf(comm.pool(), send_total, o);
+  std::uint64_t sent_sum = 0;
+  const bool validate = validation_enabled();
+  {
+    std::size_t pos = 0;
+    for (int d = 0; d < p; ++d) {
+      const std::size_t items = plan.send_counts_[static_cast<std::size_t>(d)];
+      if (items == 0) continue;
+      Header h;
+      h.magic = kMagic;
+      h.nseg = static_cast<std::uint16_t>(nseg);
+      h.items = items;
+      std::memcpy(send_buf.data() + pos, &h, sizeof h);
+      pos += sizeof h;
+      const std::size_t first = plan.send_offsets_[static_cast<std::size_t>(d)];
+      for (const Segment& s : segments_) {
+        for (std::size_t k = 0; k < items; ++k)
+          std::memcpy(send_buf.data() + pos + k * s.item_bytes,
+                      s.src + static_cast<std::size_t>(
+                                  plan.slot_src_[first + k]) *
+                                  s.item_bytes,
+                      s.item_bytes);
+        if (validate)
+          sent_sum += content_checksum(send_buf.data() + pos, items,
+                                       s.item_bytes);
+        pos += items * s.item_bytes;
+      }
+    }
+    FCS_ASSERT(pos == send_total);
+  }
+
+  mpi::PooledBuffer recv_buf(comm.pool(), recv_total, o);
+  if (plan.kind_ == ExchangeKind::kDense)
+    comm.alltoallv_bytes_known(send_buf.data(), plan.send_bytes_scratch_,
+                               plan.recv_bytes_scratch_, recv_buf.data());
+  else
+    comm.sparse_alltoallv_bytes_known(send_buf.data(),
+                                      plan.send_bytes_scratch_,
+                                      plan.recv_bytes_scratch_,
+                                      recv_buf.data());
+
+  // Unpack: resize outputs now that every source has been read, then copy
+  // each segment out, grouped by source rank in plan slot order (or
+  // scattered through the placement permutation).
+  const std::size_t n_recv = plan.n_recv_total();
+  std::vector<std::byte*> out_ptr(nseg);
+  for (std::size_t s = 0; s < nseg; ++s)
+    out_ptr[s] =
+        segments_[s].resize_out(segments_[s].out_vec,
+                                n_recv * segments_[s].item_bytes);
+  std::uint64_t recv_sum = 0;
+  {
+    std::size_t pos = 0;
+    for (int src = 0; src < p; ++src) {
+      const std::size_t items =
+          plan.recv_counts_[static_cast<std::size_t>(src)];
+      if (items == 0) continue;
+      Header h;
+      std::memcpy(&h, recv_buf.data() + pos, sizeof h);
+      FCS_CHECK(h.magic == kMagic && h.nseg == nseg && h.items == items,
+                "FusedBatch: malformed fused message from rank " << src);
+      pos += sizeof h;
+      const std::size_t slot0 =
+          plan.recv_offsets_[static_cast<std::size_t>(src)];
+      for (std::size_t s = 0; s < nseg; ++s) {
+        const std::size_t ib = segments_[s].item_bytes;
+        if (placement_ == nullptr) {
+          std::memcpy(out_ptr[s] + slot0 * ib, recv_buf.data() + pos,
+                      items * ib);
+        } else {
+          for (std::size_t k = 0; k < items; ++k)
+            std::memcpy(out_ptr[s] +
+                            static_cast<std::size_t>(placement_[slot0 + k]) *
+                                ib,
+                        recv_buf.data() + pos + k * ib, ib);
+        }
+        if (validate)
+          recv_sum += content_checksum(recv_buf.data() + pos, items, ib);
+        pos += items * ib;
+      }
+    }
+    FCS_ASSERT(pos == recv_total);
+  }
+  if (validate)
+    validate_exchange(comm, "fused_exchange",
+                      plan.n_send_slots() * nseg, sent_sum, n_recv * nseg,
+                      recv_sum);
+
+  if (o != nullptr) {
+    std::size_t moved = 0;
+    for (int i = 0; i < p; ++i)
+      if (i != r) moved += plan.send_bytes_scratch_[static_cast<std::size_t>(i)];
+    o->add("redist.fused.batches", 1.0);
+    o->add("redist.fused.segments", static_cast<double>(nseg));
+    o->add("redist.fused.elements",
+           static_cast<double>(plan.n_send_slots() * nseg));
+    o->add("redist.fused.bytes_moved", static_cast<double>(moved));
+  }
+  segments_.clear();
+}
+
+}  // namespace redist

@@ -1,0 +1,314 @@
+// Reusable redistribution schedules (exchange plans) and fused multi-field
+// exchanges.
+//
+// A redistribution step moves every element to the rank(s) named by a
+// distribution function. The WHERE of that movement - per-destination slot
+// lists, counts, offsets, partner sets - depends only on the distribution
+// function, not on the payload, so it can be computed once per fcs_run and
+// then applied to any number of per-particle payloads:
+//
+//   ExchangePlan plan = ExchangePlan::build(comm, n, dist, kind);  // local
+//   auto a = plan.exchange_initial(comm, items.data()); // legacy-cost, fills
+//                                                       // the recv counts
+//   auto b = plan.apply<double>(comm, more.data());     // counts known: no
+//                                                       // transpose/barrier
+//   FusedBatch batch(comm, plan);                       // N fields, ONE
+//   batch.add(vel, 1, vel); batch.add(acc, 1, acc);     // message per
+//   batch.execute();                                    // partner pair
+//
+// The fused wire format per partner message is one 16-byte header
+// {magic, nseg, items} followed by nseg typed segments, each holding `items`
+// elements in plan slot order. Slot order is destination-major and, within a
+// destination, ascending in source item index - the same order the legacy
+// per-field exchanges produced, which is what makes the fused path
+// bit-identical to them (tests/test_exchange_prop.cpp).
+//
+// All staging buffers come from the communicator's BufferPool, so steady
+// state steps perform zero heap allocations in the exchange path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "obs/obs.hpp"
+#include "redist/conserve.hpp"
+
+namespace redist {
+
+enum class ExchangeKind { kDense, kSparse };
+
+/// Is the plan-fused exchange path enabled? Reads FCS_EXCHANGE_FUSE once
+/// (default ON; set to 0 for the legacy one-exchange-per-field path) unless
+/// overridden by set_exchange_fuse(). Must be consistent across ranks.
+bool fuse_enabled();
+
+/// Override the env knob: 1 = on, 0 = off, -1 = back to the environment.
+void set_exchange_fuse(int enabled);
+
+class ExchangePlan {
+ public:
+  ExchangePlan() = default;
+
+  /// Build the local half of a plan: dist(i, targets) appends the
+  /// destination rank(s) of item i to the pre-cleared `targets` (more than
+  /// one entry duplicates the item - ghosts). dist is evaluated exactly ONCE
+  /// per item; the targets are cached in the plan. No communication.
+  template <class DistFn>
+  static ExchangePlan build(const mpi::Comm& comm, std::size_t n_items,
+                            DistFn&& dist, ExchangeKind kind) {
+    ExchangePlan plan;
+    plan.kind_ = kind;
+    plan.nranks_ = comm.size();
+    plan.n_items_ = n_items;
+    const int p = plan.nranks_;
+    FCS_CHECK(n_items <= 0xffffffffULL, "more than 2^32 local items");
+    obs::count(comm.ctx().obs(), "redist.plan.builds", 1.0);
+
+    // Single pass: cache each item's targets (item-major), count per
+    // destination.
+    std::vector<int> targets;
+    std::vector<int> target_of_slot;
+    std::vector<std::size_t> first_slot(n_items + 1, 0);
+    plan.send_counts_.assign(static_cast<std::size_t>(p), 0);
+    for (std::size_t i = 0; i < n_items; ++i) {
+      targets.clear();
+      dist(i, targets);
+      for (int t : targets) {
+        FCS_CHECK(t >= 0 && t < p, "distribution function returned rank "
+                      << t << " outside the communicator (size " << p << ")");
+        ++plan.send_counts_[static_cast<std::size_t>(t)];
+        target_of_slot.push_back(t);
+      }
+      first_slot[i + 1] = target_of_slot.size();
+    }
+
+    // Counting sort of the cached targets into destination-major slot order;
+    // within a destination, slots stay ascending in item index.
+    plan.send_offsets_.assign(static_cast<std::size_t>(p) + 1, 0);
+    for (int d = 0; d < p; ++d)
+      plan.send_offsets_[static_cast<std::size_t>(d) + 1] =
+          plan.send_offsets_[static_cast<std::size_t>(d)] +
+          plan.send_counts_[static_cast<std::size_t>(d)];
+    plan.slot_src_.resize(target_of_slot.size());
+    std::vector<std::size_t> cursor(plan.send_offsets_.begin(),
+                                    plan.send_offsets_.end() - 1);
+    for (std::size_t i = 0; i < n_items; ++i)
+      for (std::size_t k = first_slot[i]; k < first_slot[i + 1]; ++k)
+        plan.slot_src_[cursor[static_cast<std::size_t>(target_of_slot[k])]++] =
+            static_cast<std::uint32_t>(i);
+    return plan;
+  }
+
+  ExchangeKind kind() const { return kind_; }
+  int nranks() const { return nranks_; }
+  std::size_t n_items() const { return n_items_; }
+  /// Outgoing slots (>= n_items when the distribution duplicates).
+  std::size_t n_send_slots() const { return slot_src_.size(); }
+  /// Source item of each outgoing slot, destination-major.
+  const std::vector<std::uint32_t>& slot_src() const { return slot_src_; }
+  const std::vector<std::size_t>& send_counts() const { return send_counts_; }
+  bool counts_known() const { return counts_known_; }
+  const std::vector<std::size_t>& recv_counts() const {
+    FCS_CHECK(counts_known_, "ExchangePlan: receive counts not known yet");
+    return recv_counts_;
+  }
+  std::size_t n_recv_total() const {
+    FCS_CHECK(counts_known_, "ExchangePlan: receive counts not known yet");
+    return recv_offsets_.back();
+  }
+
+  /// Exchange the per-destination counts so the plan becomes applicable:
+  /// dense plans use the counts transpose (Bruck alltoall), sparse plans an
+  /// NBX-style count exchange. Collective.
+  void negotiate(const mpi::Comm& comm);
+
+  /// Supply receive counts the application derived from its own invariants
+  /// (e.g. the fcs resort plan reads them off the origin indices). No
+  /// communication.
+  void set_recv_counts(std::vector<std::size_t> recv_counts);
+
+  /// The combined counts+data exchange of the legacy fine-grained path
+  /// (counts transpose in-band, then the data exchange) - virtual-time
+  /// identical to what fine_grained_redistribute always did. Fills the
+  /// receive counts as a side effect, making the plan reusable. `data` holds
+  /// one T per input item.
+  template <class T>
+  std::vector<T> exchange_initial(const mpi::Comm& comm, const T* data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    obs::RankObs* const o = comm.ctx().obs();
+    mpi::PooledBuffer packed(comm.pool(), slot_src_.size() * sizeof(T), o);
+    pack_into(data, sizeof(T), packed.data());
+    scratch_counts(send_counts_, sizeof(T), send_bytes_scratch_);
+    std::vector<std::size_t> recv_bytes;
+    std::vector<std::byte> raw =
+        kind_ == ExchangeKind::kDense
+            ? comm.alltoallv_bytes(packed.data(), send_bytes_scratch_,
+                                   recv_bytes)
+            : comm.sparse_alltoallv_bytes(packed.data(), send_bytes_scratch_,
+                                          recv_bytes);
+    std::vector<std::size_t> rc(recv_bytes.size());
+    for (std::size_t i = 0; i < recv_bytes.size(); ++i) {
+      FCS_ASSERT(recv_bytes[i] % sizeof(T) == 0);
+      rc[i] = recv_bytes[i] / sizeof(T);
+    }
+    set_recv_counts(std::move(rc));
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// One payload through the known-counts plan: `components` values of T per
+  /// input item; the result holds `components` values per received element,
+  /// grouped by source rank in plan slot order - or scattered through
+  /// `placement` (receive slot k lands at item index placement[k]) when
+  /// given. Cheaper than exchange_initial: no counts transpose (dense), no
+  /// NBX barrier (sparse).
+  template <class T>
+  std::vector<T> apply(const mpi::Comm& comm, const T* data,
+                       std::size_t components = 1,
+                       const std::uint32_t* placement = nullptr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FCS_CHECK(counts_known_, "ExchangePlan::apply before counts are known");
+    obs::RankObs* const o = comm.ctx().obs();
+    const std::size_t item_bytes = components * sizeof(T);
+    obs::count(o, "redist.plan.applies", 1.0);
+
+    mpi::PooledBuffer packed(comm.pool(), slot_src_.size() * item_bytes, o);
+    pack_into(data, item_bytes, packed.data());
+    scratch_counts(send_counts_, item_bytes, send_bytes_scratch_);
+    scratch_counts(recv_counts_, item_bytes, recv_bytes_scratch_);
+
+    std::vector<T> out(n_recv_total() * components);
+    if (placement == nullptr) {
+      run_known(comm, packed.data(), reinterpret_cast<std::byte*>(out.data()));
+      if (validation_enabled())
+        validate_exchange(
+            comm, "exchange_plan_apply", slot_src_.size(),
+            content_checksum(packed.data(), slot_src_.size(), item_bytes),
+            n_recv_total(),
+            content_checksum(out.data(), n_recv_total(), item_bytes));
+    } else {
+      mpi::PooledBuffer staged(comm.pool(), n_recv_total() * item_bytes, o);
+      run_known(comm, packed.data(), staged.data());
+      if (validation_enabled())
+        validate_exchange(
+            comm, "exchange_plan_apply", slot_src_.size(),
+            content_checksum(packed.data(), slot_src_.size(), item_bytes),
+            n_recv_total(),
+            content_checksum(staged.data(), n_recv_total(), item_bytes));
+      for (std::size_t k = 0; k < n_recv_total(); ++k)
+        std::memcpy(reinterpret_cast<std::byte*>(out.data()) +
+                        static_cast<std::size_t>(placement[k]) * item_bytes,
+                    staged.data() + k * item_bytes, item_bytes);
+    }
+    return out;
+  }
+
+ private:
+  friend class FusedBatch;
+
+  /// Gather payload items into destination-major slot order.
+  void pack_into(const void* data, std::size_t item_bytes,
+                 std::byte* out) const {
+    const auto* base = static_cast<const std::byte*>(data);
+    for (std::size_t k = 0; k < slot_src_.size(); ++k)
+      std::memcpy(out + k * item_bytes,
+                  base + static_cast<std::size_t>(slot_src_[k]) * item_bytes,
+                  item_bytes);
+  }
+
+  /// Counts -> byte counts, into a reused scratch vector.
+  static void scratch_counts(const std::vector<std::size_t>& counts,
+                             std::size_t item_bytes,
+                             std::vector<std::size_t>& out) {
+    out.resize(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      out[i] = counts[i] * item_bytes;
+  }
+
+  /// The known-counts data exchange on pre-scaled scratch byte counts.
+  void run_known(const mpi::Comm& comm, const std::byte* packed,
+                 std::byte* out) const;
+
+  ExchangeKind kind_ = ExchangeKind::kDense;
+  int nranks_ = 0;
+  std::size_t n_items_ = 0;
+  std::vector<std::uint32_t> slot_src_;
+  std::vector<std::size_t> send_counts_;
+  std::vector<std::size_t> send_offsets_;
+  std::vector<std::size_t> recv_counts_;
+  std::vector<std::size_t> recv_offsets_;
+  bool counts_known_ = false;
+  // Byte-count scratch reused across applies (mutable: caching only).
+  mutable std::vector<std::size_t> send_bytes_scratch_;
+  mutable std::vector<std::size_t> recv_bytes_scratch_;
+};
+
+/// Fuses several typed payloads over one ExchangePlan into a single
+/// multi-segment message per partner pair: one header, N typed segments.
+/// Legacy equivalent: N independent exchanges, each paying its own counts
+/// transpose / barrier and dense fabric latency.
+class FusedBatch {
+ public:
+  /// `placement`, when non-null, scatters every receive slot k of every
+  /// segment to item index placement[k] (the fcs resort permutation);
+  /// otherwise outputs stay in plan slot order (grouped by source rank).
+  FusedBatch(const mpi::Comm& comm, const ExchangePlan& plan,
+             const std::uint32_t* placement = nullptr)
+      : comm_(&comm), plan_(&plan), placement_(placement) {}
+
+  /// Queue one payload: `components` values of T per plan input item.
+  /// `out` is resized to the received element count at execute() time; it
+  /// MAY alias `data` (outputs are written only after all segments are
+  /// packed). The data pointer must stay valid until execute().
+  template <class T>
+  void add(const std::vector<T>& data, std::size_t components,
+           std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FCS_CHECK(data.size() == plan_->n_items() * components,
+              "FusedBatch: payload has " << data.size() << " values, expected "
+                  << components << " x " << plan_->n_items());
+    Segment seg;
+    seg.src = reinterpret_cast<const std::byte*>(data.data());
+    seg.item_bytes = components * sizeof(T);
+    seg.out_vec = &out;
+    seg.resize_out = [](void* vec, std::size_t n_bytes) -> std::byte* {
+      auto* v = static_cast<std::vector<T>*>(vec);
+      v->resize(n_bytes / sizeof(T));
+      return reinterpret_cast<std::byte*>(v->data());
+    };
+    segments_.push_back(seg);
+  }
+
+  std::size_t segment_count() const { return segments_.size(); }
+
+  /// Run the fused exchange. Collective; a no-op when no segments were
+  /// added. After execute() the batch is empty and can be refilled.
+  void execute();
+
+ private:
+  struct Segment {
+    const std::byte* src = nullptr;
+    std::size_t item_bytes = 0;
+    void* out_vec = nullptr;
+    std::byte* (*resize_out)(void* vec, std::size_t n_bytes) = nullptr;
+  };
+
+  struct Header {
+    std::uint32_t magic = 0;
+    std::uint16_t nseg = 0;
+    std::uint16_t reserved = 0;
+    std::uint64_t items = 0;
+  };
+  static_assert(sizeof(Header) == 16);
+  static constexpr std::uint32_t kMagic = 0x46555345;  // "FUSE"
+
+  const mpi::Comm* comm_;
+  const ExchangePlan* plan_;
+  const std::uint32_t* placement_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace redist

@@ -9,6 +9,7 @@
 // (possibly empty) send and one receive per neighbor.
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "minimpi/comm.hpp"
@@ -64,26 +65,35 @@ std::vector<T> neighborhood_alltoallv(const mpi::Comm& comm,
     comm.send(data + offsets[static_cast<std::size_t>(n)],
               send_counts[static_cast<std::size_t>(n)], n, kTag);
 
+  // Receive raw engine payloads (moved, not copied) and splice them into the
+  // output in source-rank order - no per-neighbor typed staging vectors.
   recv_counts.assign(static_cast<std::size_t>(p), 0);
   recv_counts[static_cast<std::size_t>(r)] = send_counts[static_cast<std::size_t>(r)];
-  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::byte>> incoming(static_cast<std::size_t>(p));
   for (int n : neighbors) {
-    incoming[static_cast<std::size_t>(n)] = comm.recv_vec<T>(n, kTag);
-    recv_counts[static_cast<std::size_t>(n)] =
-        incoming[static_cast<std::size_t>(n)].size();
+    incoming[static_cast<std::size_t>(n)] = comm.recv_bytes_vec(n, kTag, nullptr);
+    const std::size_t bytes = incoming[static_cast<std::size_t>(n)].size();
+    FCS_CHECK(bytes % sizeof(T) == 0,
+              "neighborhood exchange: received " << bytes
+                  << " bytes, not a multiple of element size " << sizeof(T));
+    recv_counts[static_cast<std::size_t>(n)] = bytes / sizeof(T);
   }
 
   std::size_t total = 0;
   for (std::size_t c : recv_counts) total += c;
-  std::vector<T> out;
-  out.reserve(total);
+  std::vector<T> out(total);
+  std::size_t at = 0;
   for (int src = 0; src < p; ++src) {
     if (src == r) {
-      out.insert(out.end(), data + offsets[static_cast<std::size_t>(r)],
-                 data + offsets[static_cast<std::size_t>(r) + 1]);
+      const std::size_t n_self = send_counts[static_cast<std::size_t>(r)];
+      if (n_self > 0)
+        std::memcpy(out.data() + at, data + offsets[static_cast<std::size_t>(r)],
+                    n_self * sizeof(T));
+      at += n_self;
     } else {
       const auto& blk = incoming[static_cast<std::size_t>(src)];
-      out.insert(out.end(), blk.begin(), blk.end());
+      if (!blk.empty()) std::memcpy(out.data() + at, blk.data(), blk.size());
+      at += blk.size() / sizeof(T);
     }
   }
   if (validation_enabled())

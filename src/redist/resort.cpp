@@ -1,6 +1,52 @@
 #include "redist/resort.hpp"
 
+#include <algorithm>
+
 namespace redist {
+
+ResortPlan ResortPlan::build(
+    const mpi::Comm& comm, const std::vector<std::uint64_t>& resort_indices,
+    const std::vector<std::uint64_t>& origin_of_current, ExchangeKind kind) {
+  const int p = comm.size();
+  ResortPlan rp;
+  rp.plan_ = ExchangePlan::build(
+      comm, resort_indices.size(),
+      [&](std::size_t i, std::vector<int>& targets) {
+        targets.push_back(index_rank(resort_indices[i]));
+      },
+      kind);
+
+  // Receive side: sorting the origin indices (source-rank-major, ascending
+  // source position within a rank) reproduces the order in which the plan's
+  // slots arrive. The sort also proves the inverse-permutation invariant:
+  // a duplicated origin index means two current elements claim the same
+  // original particle.
+  FCS_CHECK(origin_of_current.size() <= 0xffffffffULL,
+            "more than 2^32 local particles");
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(origin_of_current.size());
+  for (std::size_t j = 0; j < origin_of_current.size(); ++j)
+    order.emplace_back(origin_of_current[j], static_cast<std::uint32_t>(j));
+  std::sort(order.begin(), order.end());
+
+  std::vector<std::size_t> recv_counts(static_cast<std::size_t>(p), 0);
+  rp.placement_.resize(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const int src = index_rank(order[k].first);
+    FCS_CHECK(src >= 0 && src < p,
+              "origin index names invalid rank " << src);
+    FCS_CHECK(k == 0 || order[k].first != order[k - 1].first,
+              "resort plan: duplicate origin index "
+                  << order[k].first << " (resort indices are not an inverse "
+                  "permutation)");
+    ++recv_counts[static_cast<std::size_t>(src)];
+    rp.placement_[k] = order[k].second;
+  }
+  rp.plan_.set_recv_counts(std::move(recv_counts));
+  rp.valid_ = true;
+  obs::count(comm.ctx().obs(), "redist.resort_plan.builds", 1.0);
+  return rp;
+}
 
 std::vector<std::uint64_t> consecutive_origin_indices(int rank,
                                                       std::size_t n) {

@@ -83,6 +83,56 @@ std::vector<std::uint64_t> invert_origin_indices(
     const mpi::Comm& comm, const std::vector<std::uint64_t>& origin_of_current,
     std::size_t n_original, ExchangeKind kind);
 
+/// Reusable method-B resort schedule, built once per fcs_run with ZERO
+/// communication: the send side comes straight from the resort indices
+/// (target rank of every original particle), the receive side from the
+/// origin indices of the current elements (source rank of every current
+/// element), and the receive placement from sorting the origin indices -
+/// within a destination the sender packs ascending original positions, so
+/// ascending (rank, pos) is exactly plan slot order. Every subsequent field
+/// rides the plan's known-counts exchange (or a FusedBatch), skipping the
+/// per-field counts transpose / NBX barrier AND the 4-byte per-element
+/// position header of the legacy resort_values packets.
+class ResortPlan {
+ public:
+  ResortPlan() = default;
+
+  /// Collective only in the trivial sense (all ranks build); no messages.
+  /// Verifies the inverse-permutation invariant on the receive side: every
+  /// origin index must be unique, i.e. the placement is a permutation of
+  /// the current elements.
+  static ResortPlan build(const mpi::Comm& comm,
+                          const std::vector<std::uint64_t>& resort_indices,
+                          const std::vector<std::uint64_t>& origin_of_current,
+                          ExchangeKind kind);
+
+  bool valid() const { return valid_; }
+  void reset() { valid_ = false; }
+  std::size_t n_changed() const { return placement_.size(); }
+  const ExchangePlan& plan() const { return plan_; }
+  /// Receive slot k of the plan lands at current position placement()[k].
+  const std::uint32_t* placement() const { return placement_.data(); }
+
+  /// One field through the plan (fcs_resort_floats semantics: `components`
+  /// values of T per original particle; returns values in the changed
+  /// order). Bit-identical to resort_values over the same indices.
+  template <class T>
+  std::vector<T> resort(const mpi::Comm& comm, const std::vector<T>& data,
+                        std::size_t components) const {
+    FCS_CHECK(valid_, "resort plan not built");
+    FCS_CHECK(data.size() == plan_.n_items() * components,
+              "resort: data size " << data.size() << " != " << components
+                                   << " components x " << plan_.n_items()
+                                   << " particles");
+    return plan_.apply(comm, data.data(), components, placement_.data());
+  }
+
+ private:
+  ExchangePlan plan_;
+  std::vector<std::uint32_t> placement_;
+  bool valid_ = false;
+};
+
 /// fcs_resort_floats / fcs_resort_ints: move additional per-particle data to
 /// the changed order and distribution. `resort_indices[i]` names the target
 /// (rank, position) of original particle i; `data` holds `components` values
