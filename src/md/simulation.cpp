@@ -121,6 +121,7 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
   for (int step = 1; step <= cfg.steps; ++step) {
     if (o != nullptr) o->set_epoch(step);
     obs::Span step_span(ctx, "md.step");
+    obs::Span move_span(ctx, "md.move");
     double max_move_local = 0.0;
     if (cfg.surrogate_motion) {
       surrogate_displace(particles, cfg.box, cfg.surrogate_step,
@@ -149,6 +150,7 @@ SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
     // alone decides, keeping the fixed-method figure runs bit-identical.
     ropts.max_particle_move =
         (cfg.exploit_max_movement || plan_active) ? max_move : -1.0;
+    move_span.end();
 
     rr = handle.run(particles.pos, particles.q, phi, field, ropts);
     if (rr.resorted) {

@@ -1,5 +1,6 @@
 #include "minimpi/buffer_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -24,6 +25,21 @@ std::vector<std::byte> BufferPool::acquire(std::size_t bytes,
   obs::count(o, "pool.acquire", 1.0);
   obs::count(o, "pool.bytes", static_cast<double>(bytes));
   if (bytes == 0) return {};
+
+  // Outstanding-usage gauges: count only the climb past the previous mark,
+  // so the counter's exported total equals the high-water mark.
+  in_use_bytes_ += bytes;
+  ++in_use_buffers_;
+  if (in_use_bytes_ > hwm_bytes_) {
+    obs::count(o, "pool.bytes_hwm",
+               static_cast<double>(in_use_bytes_ - hwm_bytes_));
+    hwm_bytes_ = in_use_bytes_;
+  }
+  if (in_use_buffers_ > hwm_buffers_) {
+    obs::count(o, "pool.buffers_hwm",
+               static_cast<double>(in_use_buffers_ - hwm_buffers_));
+    hwm_buffers_ = in_use_buffers_;
+  }
 
   // Best fit: the smallest retained buffer whose capacity suffices.
   std::size_t best = free_.size();
@@ -63,6 +79,8 @@ void BufferPool::release(std::vector<std::byte>&& buf, obs::RankObs* o) {
   (void)o;
   const std::size_t cap = buf.capacity();
   if (cap == 0) return;
+  in_use_bytes_ -= std::min(in_use_bytes_, buf.size());
+  if (in_use_buffers_ > 0) --in_use_buffers_;
   if (free_.size() >= max_buffers_ || retained_bytes_ + cap > max_bytes_)
     return;  // pool full: let the buffer free itself
   retained_bytes_ += cap;

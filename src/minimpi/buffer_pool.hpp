@@ -18,6 +18,11 @@
 //   pool.reuse   - requests served without any heap allocation
 //   pool.alloc   - requests that had to allocate or grow heap capacity
 //   pool.bytes   - bytes handed out
+//   pool.bytes_hwm / pool.buffers_hwm - high-water marks of concurrently
+//     outstanding bytes / buffers. Emitted as monotone increments (only the
+//     delta past the previous mark is counted), so the exported counter total
+//     equals the high-water mark itself - a gauge surfaced through the
+//     counter pipeline.
 #pragma once
 
 #include <cstddef>
@@ -40,11 +45,19 @@ class BufferPool {
   std::size_t retained_buffers() const { return free_.size(); }
   std::size_t retained_bytes() const { return retained_bytes_; }
 
+  /// High-water marks of concurrently outstanding acquisitions.
+  std::size_t bytes_hwm() const { return hwm_bytes_; }
+  std::size_t buffers_hwm() const { return hwm_buffers_; }
+
  private:
   std::vector<std::vector<std::byte>> free_;
   std::size_t max_buffers_;
   std::size_t max_bytes_;
   std::size_t retained_bytes_ = 0;
+  std::size_t in_use_bytes_ = 0;
+  std::size_t in_use_buffers_ = 0;
+  std::size_t hwm_bytes_ = 0;
+  std::size_t hwm_buffers_ = 0;
 };
 
 /// RAII guard: acquires on construction, releases on destruction.

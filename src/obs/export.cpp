@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
+
+#include "obs/critpath.hpp"
 
 namespace obs {
 
@@ -54,6 +57,65 @@ void write_summary_fields(std::ostream& os, const Summary& s) {
      << ",\"imb\":" << json_number(imb);
 }
 
+/// Span-leak gate shared by both exports. A span begun but never ended means
+/// the instrumented code is buggy; emitting it would produce a malformed
+/// trace. Debug builds fail loudly with the offending span name; release
+/// builds report and skip the run's span data instead of emitting garbage.
+bool spans_ok_for_export(const Recorder& rec, const char* what) {
+  const auto leaks = rec.leaked_spans();
+  if (leaks.empty()) return true;
+#ifndef NDEBUG
+  FCS_CHECK(false, what << " export with unbalanced span '"
+                        << leaks.front().name << "' still open on rank "
+                        << leaks.front().rank << " (" << leaks.size()
+                        << " leaked span(s) total)");
+#else
+  std::fprintf(stderr,
+               "obs: skipping %s span data: unbalanced span '%s' still open "
+               "on rank %d (%zu leaked span(s) total)\n",
+               what, leaks.front().name.c_str(), leaks.front().rank,
+               leaks.size());
+  return false;
+#endif
+}
+
+/// FIG_CRITPATH=0 disables the critical-path section of the metrics JSON.
+bool critpath_enabled() {
+  const char* v = std::getenv("FIG_CRITPATH");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+void write_critstep_json(std::ostream& os, const CritStep& step) {
+  os << "{\"step\":" << step.step << ",\"begin\":" << json_number(step.begin)
+     << ",\"makespan\":" << json_number(step.makespan)
+     << ",\"path\":" << json_number(step.path)
+     << ",\"coverage\":" << json_number(step.coverage)
+     << ",\"comm\":" << json_number(step.comm)
+     << ",\"critical_rank\":" << step.critical_rank << ",\"slack\":{";
+  write_summary_fields(os, step.slack);
+  os << "},\"phases\":{";
+  bool first = true;
+  for (const auto& [name, secs] : step.phases) {
+    os << (first ? "" : ",") << json_string(name) << ":" << json_number(secs);
+    first = false;
+  }
+  os << "},\"ranks\":{";
+  first = true;
+  for (const auto& [rank, secs] : step.ranks) {
+    os << (first ? "" : ",") << "\"" << rank << "\":" << json_number(secs);
+    first = false;
+  }
+  os << "},\"links\":[";
+  first = true;
+  for (const CritLink& link : step.links) {
+    os << (first ? "" : ",") << "{\"src\":" << link.src
+       << ",\"dst\":" << link.dst << ",\"seconds\":" << json_number(link.seconds)
+       << ",\"msgs\":" << link.msgs << "}";
+    first = false;
+  }
+  os << "]}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const std::vector<TraceRun>& runs) {
@@ -74,16 +136,35 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceRun>& runs) {
       sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
             << ",\"tid\":" << r << ",\"args\":{\"name\":\"rank " << r << "\"}}";
     }
+    if (!spans_ok_for_export(*rec, "trace")) continue;
     for (int r = 0; r < rec->nranks(); ++r) {
       const RankObs& rank = rec->rank(r);
-      FCS_CHECK(rank.open_spans() == 0, "trace export with "
-                    << rank.open_spans() << " unclosed span(s) on rank " << r);
       for (const SpanEvent& ev : rank.spans()) {
         sep() << "{\"name\":" << json_string(rec->name_of(ev.name_id))
               << ",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":"
               << json_number(ev.begin * 1e6) << ",\"dur\":"
               << json_number((ev.end - ev.begin) * 1e6) << ",\"pid\":" << pid
               << ",\"tid\":" << r << "}";
+      }
+    }
+    // Flow arrows: one "s"/"f" pair per matched message, binding the send
+    // span on the source rank to the receive span on the destination. The id
+    // is prefixed with the pid because flow ids restart at 0 per run.
+    std::unordered_set<std::uint64_t> matched;
+    for (int r = 0; r < rec->nranks(); ++r)
+      for (const FlowEvent& ev : rec->rank(r).flows())
+        if (!ev.is_send) matched.insert(ev.id);
+    for (int r = 0; r < rec->nranks(); ++r) {
+      for (const FlowEvent& ev : rec->rank(r).flows()) {
+        if (ev.is_send && matched.find(ev.id) == matched.end()) continue;
+        const std::string id =
+            std::to_string(pid) + ":" + std::to_string(ev.id);
+        sep() << "{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\""
+              << (ev.is_send ? 's' : 'f') << "\"";
+        if (!ev.is_send) os << ",\"bp\":\"e\"";
+        os << ",\"ts\":" << json_number(ev.time * 1e6) << ",\"pid\":" << pid
+           << ",\"tid\":" << r << ",\"id\":" << json_string(id)
+           << ",\"args\":{\"bytes\":" << ev.bytes << "}}";
       }
     }
   }
@@ -137,7 +218,25 @@ void write_metrics_json(std::ostream& os, const std::vector<MetricsRun>& runs) {
       }
       os << "]}";
     }
-    os << "}}";
+    os << "}";
+
+    // Critical-path section: only meaningful when spans (and therefore flow
+    // events) were recorded and balanced. FIG_CRITPATH=0 turns it off.
+    if (rec->record_spans() && critpath_enabled() &&
+        spans_ok_for_export(*rec, "critpath")) {
+      const CritPathOptions opts = critpath_options_from_env();
+      const CritPathReport report = build_critpath(*rec, opts);
+      os << ",\"critpath\":{\"step_span\":" << json_string(opts.step_span)
+         << ",\"steps\":[";
+      for (std::size_t s = 0; s < report.steps.size(); ++s) {
+        os << (s == 0 ? "" : ",");
+        write_critstep_json(os, report.steps[s]);
+      }
+      os << "],\"total\":";
+      write_critstep_json(os, report.total);
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n]}\n";
 }

@@ -34,6 +34,41 @@ void RankObs::end_span() {
   spans_.push_back(ev);
 }
 
+std::vector<std::string> RankObs::open_span_names() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [id, begin] : open_) {
+    (void)begin;
+    out.push_back(recorder_->name_of(id));
+  }
+  return out;
+}
+
+void RankObs::flow_send(std::uint64_t id, int peer, std::uint64_t bytes) {
+  if (!recorder_->record_spans()) return;
+  FlowEvent ev;
+  ev.id = id;
+  ev.peer = peer;
+  ev.bytes = bytes;
+  ev.is_send = true;
+  ev.time = now();
+  flows_.push_back(ev);
+}
+
+void RankObs::flow_recv(std::uint64_t id, int peer, std::uint64_t bytes,
+                        double post, double arrival) {
+  if (!recorder_->record_spans()) return;
+  FlowEvent ev;
+  ev.id = id;
+  ev.peer = peer;
+  ev.bytes = bytes;
+  ev.is_send = false;
+  ev.time = now();
+  ev.post = post;
+  ev.arrival = arrival;
+  flows_.push_back(ev);
+}
+
 Counter& RankObs::counter(std::string_view name) {
   return counters_[recorder_->intern(name)];
 }
@@ -73,6 +108,19 @@ const std::string& Recorder::name_of(int id) const {
   FCS_CHECK(id >= 0 && id < static_cast<int>(names_.size()),
             "unknown obs name id " << id);
   return names_[static_cast<std::size_t>(id)];
+}
+
+int Recorder::find_name(std::string_view name) const {
+  const auto it = name_ids_.find(name);
+  return it != name_ids_.end() ? it->second : -1;
+}
+
+std::vector<Recorder::SpanLeak> Recorder::leaked_spans() const {
+  std::vector<SpanLeak> out;
+  for (const auto& rank : ranks_)
+    for (const std::string& name : rank->open_span_names())
+      out.push_back(SpanLeak{rank->rank(), name});
+  return out;
 }
 
 std::map<std::string, CounterReduction> Recorder::reduce_counters() const {

@@ -92,6 +92,24 @@ struct SpanEvent {
   double end = 0.0;
 };
 
+/// One endpoint of a matched point-to-point message (a "flow"). Flow ids are
+/// the mailbox's global send sequence numbers, so the id is deterministic and
+/// two events with the same id are the two ends of one logical message (fault
+/// retransmits and duplicates reuse the original id). The send side stamps
+/// the injection-complete time; the receive side additionally stamps when the
+/// receive was posted and when the last byte arrived, which is exactly the
+/// information the critical-path walk needs to decide whether the receiver
+/// waited.
+struct FlowEvent {
+  std::uint64_t id = 0;
+  int peer = 0;           // engine rank of the other endpoint
+  std::uint64_t bytes = 0;
+  bool is_send = false;
+  double time = 0.0;      // send: injection complete; recv: match complete
+  double post = 0.0;      // recv only: virtual time the receive was posted
+  double arrival = 0.0;   // recv only: virtual time the last byte arrived
+};
+
 /// Per-rank counter: a total plus a per-epoch breakdown. Epochs are small
 /// application-defined integers (the MD driver uses the time-step index).
 class Counter {
@@ -131,6 +149,19 @@ class RankObs {
   void end_span();
   int open_spans() const { return static_cast<int>(open_.size()); }
   const std::vector<SpanEvent>& spans() const { return spans_; }
+  /// Names of spans begun but never ended, outermost first (leak report).
+  std::vector<std::string> open_span_names() const;
+
+  // --- flows ---------------------------------------------------------------
+
+  /// Engine wiring: record the two endpoints of a matched message. Gated on
+  /// record_spans like spans are - flows only matter for traces and the
+  /// critical path, both of which need spans anyway.
+  void flow_send(std::uint64_t id, int peer, std::uint64_t bytes);
+  void flow_recv(std::uint64_t id, int peer, std::uint64_t bytes, double post,
+                 double arrival);
+  /// Flow endpoints of this rank in recording (virtual time) order.
+  const std::vector<FlowEvent>& flows() const { return flows_; }
 
   // --- metrics -------------------------------------------------------------
 
@@ -152,6 +183,7 @@ class RankObs {
   int epoch_ = 0;
   std::vector<std::pair<int, double>> open_;  // (name id, begin time)
   std::vector<SpanEvent> spans_;
+  std::vector<FlowEvent> flows_;
   std::map<int, Counter> counters_;      // name id -> counter
   std::map<int, Histogram> histograms_;  // name id -> histogram
 };
@@ -216,6 +248,17 @@ class Recorder {
   /// Intern a span/metric name; ids are dense and deterministic.
   int intern(std::string_view name);
   const std::string& name_of(int id) const;
+  /// Id of an already-interned name, or -1 if never seen (read-only lookup).
+  int find_name(std::string_view name) const;
+
+  /// A span begun but never ended - a bug in the instrumented code that would
+  /// produce a malformed trace if exported silently.
+  struct SpanLeak {
+    int rank = 0;
+    std::string name;
+  };
+  /// All unbalanced spans across ranks, in (rank, nesting) order.
+  std::vector<SpanLeak> leaked_spans() const;
 
   /// MPI-style reduction across the simulated ranks, per counter name.
   std::map<std::string, CounterReduction> reduce_counters() const;

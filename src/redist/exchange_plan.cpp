@@ -38,6 +38,7 @@ void ExchangePlan::set_recv_counts(std::vector<std::size_t> recv_counts) {
 }
 
 void ExchangePlan::negotiate(const mpi::Comm& comm) {
+  obs::Span span(comm.ctx().obs(), "redist.exchange.negotiate");
   const int p = nranks_;
   if (kind_ == ExchangeKind::kDense) {
     std::vector<std::uint64_t> sc(send_counts_.begin(), send_counts_.end());
@@ -100,6 +101,7 @@ void FusedBatch::execute() {
             "FusedBatch: plan receive counts not known yet");
   const mpi::Comm& comm = *comm_;
   obs::RankObs* const o = comm.ctx().obs();
+  obs::Span span(o, "redist.exchange.fused");
   const int p = plan.nranks_;
   const int r = comm.rank();
   const std::size_t nseg = segments_.size();

@@ -138,6 +138,7 @@ class ExchangePlan {
   std::vector<T> exchange_initial(const mpi::Comm& comm, const T* data) {
     static_assert(std::is_trivially_copyable_v<T>);
     obs::RankObs* const o = comm.ctx().obs();
+    obs::Span span(o, "redist.exchange.initial");
     mpi::PooledBuffer packed(comm.pool(), slot_src_.size() * sizeof(T), o);
     pack_into(data, sizeof(T), packed.data());
     scratch_counts(send_counts_, sizeof(T), send_bytes_scratch_);
@@ -172,6 +173,7 @@ class ExchangePlan {
     static_assert(std::is_trivially_copyable_v<T>);
     FCS_CHECK(counts_known_, "ExchangePlan::apply before counts are known");
     obs::RankObs* const o = comm.ctx().obs();
+    obs::Span span(o, "redist.exchange.apply");
     const std::size_t item_bytes = components * sizeof(T);
     obs::count(o, "redist.plan.applies", 1.0);
 

@@ -45,9 +45,11 @@ void RankCtx::send(int dst, std::uint64_t tag, const void* data,
   m.src = rank_;
   m.tag = tag;
   m.seq = engine_->mailbox().next_seq();
+  m.flow = m.seq;
   m.arrival = clock_ + cfg.network->p2p_time(rank_, dst, bytes);
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  if (obs_ != nullptr) obs_->flow_send(m.flow, dst, bytes);
   FaultInjector* const fi = engine_->faults();
   if (fi != nullptr && fi->plan().affects_messages() && dst != rank_) {
     send_faulty(dst, bytes, std::move(m));
@@ -62,6 +64,7 @@ void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
   const double flight = cfg.network->p2p_time(rank_, dst, bytes);
   const std::uint64_t chan_seq = fi.next_chan_seq(rank_, dst);
   const std::uint64_t tag = m.tag;
+  const std::uint64_t flow = m.flow;
   m.chan_seq = chan_seq;
 
   double delay = fi.jitter(rank_, dst, chan_seq, clock_);
@@ -119,6 +122,7 @@ void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
       Message retrans;
       retrans.src = rank_;
       retrans.tag = tag;
+      retrans.flow = flow;
       retrans.chan_seq = chan_seq;
       retrans.seq = engine_->mailbox().next_seq();
       retrans.arrival = clock_ + delay + flight;
@@ -146,11 +150,14 @@ RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
   for (;;) {
     auto m = engine_->mailbox().try_match(rank_, src, tag);
     if (m.has_value()) {
+      const double posted = clock_;
       clock_ = std::max(clock_, m->arrival) + cfg.recv_overhead +
                static_cast<double>(m->payload.size()) / cfg.memory_rate;
       if (obs_ != nullptr) {
         obs_->add("sim.recv.msgs", 1.0);
         obs_->add("sim.recv.bytes", static_cast<double>(m->payload.size()));
+        obs_->flow_recv(m->flow, m->src, m->payload.size(), posted,
+                        m->arrival);
       }
       RecvInfo info;
       info.src = m->src;

@@ -28,6 +28,9 @@ struct Message {
   int src = 0;
   std::uint64_t tag = 0;
   std::uint64_t seq = 0;      // global send order, for deterministic ties
+  std::uint64_t flow = 0;     // causal flow id: the seq of the first
+                              // transmission; retransmits and duplicates keep
+                              // it, so a matched recv names its logical send
   std::uint64_t chan_seq = 0; // per-(src,dst) sequence under fault injection;
                               // 0 = outside the reliable-channel protocol
   double arrival = 0.0;       // virtual time the last byte reaches dst

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explain.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+// --- JSON parser. -----------------------------------------------------------
+
+TEST(ExplainJson, ParsesScalarsContainersAndEscapes) {
+  const tools::Json doc = tools::parse_json(
+      R"({"n":-1.5e2,"s":"a\"bA","t":true,"f":false,"z":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v"}})");
+  ASSERT_EQ(doc.kind, tools::Json::Kind::kObject);
+  EXPECT_DOUBLE_EQ(doc.number_or("n", 0.0), -150.0);
+  ASSERT_NE(doc.find("s"), nullptr);
+  EXPECT_EQ(doc.find("s")->string, "a\"bA");
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_FALSE(doc.find("f")->boolean);
+  EXPECT_EQ(doc.find("z")->kind, tools::Json::Kind::kNull);
+  ASSERT_EQ(doc.find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("arr")->array[1].number, 2.0);
+  EXPECT_EQ(doc.find("obj")->find("k")->string, "v");
+  // Missing keys are nulls / fallbacks, never crashes.
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+TEST(ExplainJson, PreservesObjectMemberOrder) {
+  const tools::Json doc = tools::parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.object[2].first, "m");
+}
+
+TEST(ExplainJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(tools::parse_json(""), fcs::Error);
+  EXPECT_THROW(tools::parse_json("{"), fcs::Error);
+  EXPECT_THROW(tools::parse_json(R"({"a":1,})"), fcs::Error);
+  EXPECT_THROW(tools::parse_json("[1 2]"), fcs::Error);
+  EXPECT_THROW(tools::parse_json("{} trailing"), fcs::Error);
+  EXPECT_THROW(tools::parse_json(R"({"a":inf})"), fcs::Error);
+  EXPECT_THROW(tools::parse_json(R"("unterminated)"), fcs::Error);
+  EXPECT_THROW(tools::parse_json(R"("bad \q escape")"), fcs::Error);
+}
+
+// --- Metrics model. ---------------------------------------------------------
+
+/// A minimal but shape-complete metrics document with two labelled runs.
+/// makespans: fast 1.0s, slow 1.2s; the extra 0.2s sits in redist.exchange.
+std::string sample_metrics() {
+  return R"({
+  "runs": [
+    {
+      "label": "0:fast",
+      "nranks": 4,
+      "makespan": 1.0,
+      "counters": {
+        "mpi.alltoallv.bytes": {"total": {"sum": 1000.0, "min": 200.0,
+                                          "max": 300.0}},
+        "pool.bytes_hwm": {"total": {"sum": 4096.0}}
+      },
+      "critpath": {
+        "step_span": "md.step",
+        "steps": [
+          {"step": 0, "makespan": 0.5, "path": 0.5, "coverage": 1.0,
+           "comm": 0.1, "critical_rank": 2,
+           "slack": {"mean": 0.01, "max": 0.02},
+           "phases": {"md.step": 0.5, "fmm.compute": 0.4},
+           "links": [{"src": 0, "dst": 2, "seconds": 0.1, "msgs": 3}]}
+        ],
+        "total": {"makespan": 1.0, "path": 1.0, "coverage": 1.0,
+                  "comm": 0.2, "critical_rank": 2,
+                  "slack": {"mean": 0.02, "max": 0.04},
+                  "phases": {"md.step": 1.0, "fmm.compute": 0.8,
+                             "redist.exchange.initial": 0.1},
+                  "links": [{"src": 0, "dst": 2, "seconds": 0.2, "msgs": 6}]}
+      }
+    },
+    {
+      "label": "1:slow",
+      "nranks": 4,
+      "makespan": 1.2,
+      "counters": {
+        "mpi.alltoallv.bytes": {"total": {"sum": 5000.0}},
+        "pool.bytes_hwm": {"total": {"sum": 8192.0}}
+      },
+      "critpath": {
+        "step_span": "md.step",
+        "steps": [],
+        "total": {"makespan": 1.2, "path": 1.15, "coverage": 0.958,
+                  "comm": 0.3, "critical_rank": 1,
+                  "slack": {"mean": 0.05, "max": 0.09},
+                  "phases": {"md.step": 1.15, "fmm.compute": 0.8,
+                             "redist.exchange.initial": 0.3},
+                  "links": []}
+      }
+    }
+  ]
+})";
+}
+
+TEST(ExplainMetrics, ParsesRunsCountersAndCritpath) {
+  const std::vector<tools::RunInfo> runs =
+      tools::parse_metrics(sample_metrics());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].label, "0:fast");
+  EXPECT_EQ(runs[0].nranks, 4);
+  EXPECT_DOUBLE_EQ(runs[0].makespan, 1.0);
+  EXPECT_DOUBLE_EQ(runs[0].counter_sum.at("mpi.alltoallv.bytes"), 1000.0);
+  EXPECT_DOUBLE_EQ(runs[0].counter_sum.at("pool.bytes_hwm"), 4096.0);
+  ASSERT_TRUE(runs[0].has_critpath);
+  EXPECT_EQ(runs[0].step_span, "md.step");
+  ASSERT_EQ(runs[0].steps.size(), 1u);
+  EXPECT_EQ(runs[0].steps[0].step, 0);
+  EXPECT_EQ(runs[0].steps[0].critical_rank, 2);
+  EXPECT_DOUBLE_EQ(runs[0].steps[0].phases.at("fmm.compute"), 0.4);
+  ASSERT_EQ(runs[0].steps[0].links.size(), 1u);
+  EXPECT_EQ(runs[0].steps[0].links[0].dst, 2);
+  EXPECT_EQ(runs[0].steps[0].links[0].msgs, 3u);
+  EXPECT_DOUBLE_EQ(runs[0].total.path, 1.0);
+  EXPECT_DOUBLE_EQ(runs[1].total.coverage, 0.958);
+  EXPECT_TRUE(runs[1].steps.empty());
+}
+
+TEST(ExplainMetrics, RunsWithoutCritpathParse) {
+  const auto runs = tools::parse_metrics(
+      R"({"runs":[{"label":"bare","nranks":2,"makespan":0.5,"counters":{}}]})");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(runs[0].has_critpath);
+  EXPECT_DOUBLE_EQ(runs[0].makespan, 0.5);
+}
+
+TEST(ExplainMetrics, RejectsDocumentsWithoutRuns) {
+  EXPECT_THROW(tools::parse_metrics(R"({"no_runs":[]})"), fcs::Error);
+}
+
+// --- Diff analysis. ---------------------------------------------------------
+
+TEST(ExplainDiff, PairsByLabelAndRanksDeltas) {
+  const auto a = tools::parse_metrics(sample_metrics());
+  auto b = tools::parse_metrics(sample_metrics());
+  // B's "0:fast" regressed by 50% with the growth in redist.exchange.initial.
+  b[0].makespan = 1.5;
+  b[0].total.phases["redist.exchange.initial"] = 0.6;
+  b[0].counter_sum["mpi.alltoallv.bytes"] = 9000.0;
+
+  tools::ExplainOptions opts;
+  opts.threshold_pct = 5.0;
+  const tools::DiffResult diff = tools::diff_runs(a, b, opts);
+  ASSERT_EQ(diff.runs.size(), 2u);
+  EXPECT_TRUE(diff.unmatched.empty());
+
+  const tools::RunDiff& d0 = diff.runs[0];
+  EXPECT_EQ(d0.label_a, "0:fast");
+  EXPECT_DOUBLE_EQ(d0.delta(), 0.5);
+  EXPECT_DOUBLE_EQ(d0.pct(), 50.0);
+  EXPECT_TRUE(d0.regressed);
+  // Largest phase movement first: the redist exchange grew by 0.5s.
+  ASSERT_FALSE(d0.phases.empty());
+  EXPECT_EQ(d0.phases[0].name, "redist.exchange.initial");
+  EXPECT_DOUBLE_EQ(d0.phases[0].delta(), 0.5);
+  ASSERT_FALSE(d0.counters.empty());
+  EXPECT_EQ(d0.counters[0].name, "mpi.alltoallv.bytes");
+
+  // The untouched pair is not a regression.
+  EXPECT_FALSE(diff.runs[1].regressed);
+  EXPECT_EQ(diff.regressions, 1);
+}
+
+TEST(ExplainDiff, ThresholdGatesSmallDeltas) {
+  const auto a = tools::parse_metrics(sample_metrics());
+  auto b = tools::parse_metrics(sample_metrics());
+  b[0].makespan = 1.03;  // +3%
+
+  tools::ExplainOptions loose;
+  loose.threshold_pct = 5.0;
+  EXPECT_EQ(tools::diff_runs(a, b, loose).regressions, 0);
+
+  tools::ExplainOptions tight;
+  tight.threshold_pct = 1.0;
+  EXPECT_EQ(tools::diff_runs(a, b, tight).regressions, 1);
+
+  // Improvements never count as regressions.
+  b[0].makespan = 0.5;
+  tools::ExplainOptions zero;
+  EXPECT_EQ(tools::diff_runs(a, b, zero).regressions, 0);
+}
+
+TEST(ExplainDiff, ExplicitPairsAndUnmatchedLabels) {
+  const auto runs = tools::parse_metrics(sample_metrics());
+
+  tools::ExplainOptions opts;
+  opts.pairs.push_back({"0:fast", "1:slow"});
+  const tools::DiffResult diff = tools::diff_runs(runs, runs, opts);
+  ASSERT_EQ(diff.runs.size(), 1u);
+  EXPECT_EQ(diff.runs[0].label_a, "0:fast");
+  EXPECT_EQ(diff.runs[0].label_b, "1:slow");
+  EXPECT_NEAR(diff.runs[0].pct(), 20.0, 1e-9);
+
+  // Label matching flags partnerless runs instead of silently dropping them.
+  const auto only_fast = tools::parse_metrics(
+      R"({"runs":[{"label":"0:fast","nranks":4,"makespan":1.0,)"
+      R"("counters":{}}]})");
+  tools::ExplainOptions by_label;
+  const tools::DiffResult partial =
+      tools::diff_runs(runs, only_fast, by_label);
+  EXPECT_EQ(partial.runs.size(), 1u);
+  ASSERT_EQ(partial.unmatched.size(), 1u);
+  EXPECT_EQ(partial.unmatched[0], "1:slow (A)");
+}
+
+TEST(ExplainDiff, ByIndexPairsPositionally) {
+  const auto a = tools::parse_metrics(sample_metrics());
+  auto b = tools::parse_metrics(sample_metrics());
+  b[0].label = "renamed";
+  b[1].label = "also-renamed";
+  tools::ExplainOptions opts;
+  opts.by_index = true;
+  const tools::DiffResult diff = tools::diff_runs(a, b, opts);
+  ASSERT_EQ(diff.runs.size(), 2u);
+  EXPECT_EQ(diff.runs[0].label_b, "renamed");
+  EXPECT_TRUE(diff.unmatched.empty());
+}
+
+// --- CLI driver. ------------------------------------------------------------
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream os(path);
+  os << body;
+  return path;
+}
+
+int run_cli(std::vector<const char*> argv, std::string* out = nullptr,
+            std::string* err = nullptr) {
+  argv.insert(argv.begin(), "obs_explain");
+  std::ostringstream o, e;
+  const int rc = tools::explain_main(static_cast<int>(argv.size()),
+                                     argv.data(), o, e);
+  if (out != nullptr) *out = o.str();
+  if (err != nullptr) *err = e.str();
+  return rc;
+}
+
+TEST(ExplainCli, BreakdownReportsPathAndCoverage) {
+  const std::string path = write_temp("explain_a.json", sample_metrics());
+  std::string out;
+  EXPECT_EQ(run_cli({path.c_str()}, &out), 0);
+  EXPECT_NE(out.find("0:fast"), std::string::npos);
+  EXPECT_NE(out.find("fmm.compute"), std::string::npos);
+  EXPECT_NE(out.find("coverage"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExplainCli, MinCoverageGateTripsExitCode) {
+  const std::string path = write_temp("explain_cov.json", sample_metrics());
+  // Run "1:slow" has coverage 0.958: passes at 0.95, fails at 0.99.
+  EXPECT_EQ(run_cli({"--min-coverage", "0.95", path.c_str()}), 0);
+  std::string out;
+  EXPECT_EQ(run_cli({"--min-coverage", "0.99", path.c_str()}, &out), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ExplainCli, DiffOfIdenticalFilesIsClean) {
+  const std::string a = write_temp("explain_ida.json", sample_metrics());
+  const std::string b = write_temp("explain_idb.json", sample_metrics());
+  std::string out;
+  EXPECT_EQ(run_cli({"--diff", a.c_str(), b.c_str()}, &out), 0);
+  EXPECT_NE(out.find("0 regression"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ExplainCli, DiffFlagsRegressionAboveThreshold) {
+  const std::string a = write_temp("explain_ra.json", sample_metrics());
+  auto slow = sample_metrics();
+  const std::string needle = "\"makespan\": 1.0";
+  const auto pos = slow.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  slow.replace(pos, needle.size(), "\"makespan\": 2.0");
+  const std::string b = write_temp("explain_rb.json", slow);
+  std::string out;
+  EXPECT_EQ(run_cli({"--diff", "--threshold", "10", a.c_str(), b.c_str()},
+                    &out),
+            1);
+  EXPECT_NE(out.find("1 regression"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ExplainCli, SingleFilePairComparesWithinOneFile) {
+  const std::string path = write_temp("explain_pair.json", sample_metrics());
+  std::string out;
+  EXPECT_EQ(run_cli({"--diff", "--pair", "0:fast=1:slow", "--threshold", "50",
+                     path.c_str()},
+                    &out),
+            0);
+  EXPECT_NE(out.find("0:fast"), std::string::npos);
+  EXPECT_NE(out.find("1:slow"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExplainCli, UsageAndIoErrorsExitTwo) {
+  std::string err;
+  EXPECT_EQ(run_cli({}, nullptr, &err), 2);  // no files
+  EXPECT_EQ(run_cli({"--bogus-flag", "x.json"}, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"/nonexistent/metrics.json"}, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"--pair", "missing-equals", "a", "b"}, nullptr, &err), 2);
+  const std::string bad = write_temp("explain_bad.json", "{not json");
+  EXPECT_EQ(run_cli({bad.c_str()}, nullptr, &err), 2);
+  std::remove(bad.c_str());
+
+  std::string out;
+  EXPECT_EQ(run_cli({"--help"}, &out), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+}  // namespace

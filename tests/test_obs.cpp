@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "minimpi/buffer_pool.hpp"
+#include "obs/critpath.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
@@ -355,6 +357,328 @@ TEST(Obs, DisabledSessionReturnsNullRecorder) {
   EXPECT_EQ(session.begin_run("x"), nullptr);
   session.end_run(1.0);  // no-op, must not crash
   session.finish();
+}
+
+// --- Causal flow events. ----------------------------------------------------
+
+TEST(Flow, MatchedEndpointsShareOneId) {
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.recorder = rec;
+  sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const double payload = 1.5;
+      ctx.send(1, 7, &payload, sizeof payload);
+    } else {
+      ctx.advance(1e-3);  // post late: the message is already on the wire
+      (void)ctx.recv(0, 7);
+    }
+  });
+  const auto& sends = rec->rank(0).flows();
+  const auto& recvs = rec->rank(1).flows();
+  ASSERT_EQ(sends.size(), 1u);
+  ASSERT_EQ(recvs.size(), 1u);
+  EXPECT_TRUE(sends[0].is_send);
+  EXPECT_FALSE(recvs[0].is_send);
+  EXPECT_EQ(sends[0].id, recvs[0].id);
+  EXPECT_EQ(sends[0].peer, 1);
+  EXPECT_EQ(recvs[0].peer, 0);
+  EXPECT_EQ(sends[0].bytes, sizeof(double));
+  EXPECT_EQ(recvs[0].bytes, sizeof(double));
+  // The message left before the recv completed and arrived before the (late)
+  // post, so this recv did not gate the receiver.
+  EXPECT_GE(recvs[0].arrival, sends[0].time);
+  EXPECT_GE(recvs[0].time, recvs[0].arrival);
+  EXPECT_GT(recvs[0].post, recvs[0].arrival);
+}
+
+TEST(Flow, EarlyPostedRecvIsGatedByArrival) {
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.recorder = rec;
+  sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.advance(1e-2);  // make the receiver wait
+      const double payload = 2.5;
+      ctx.send(1, 7, &payload, sizeof payload);
+    } else {
+      (void)ctx.recv(0, 7);
+    }
+  });
+  const auto& recvs = rec->rank(1).flows();
+  ASSERT_EQ(recvs.size(), 1u);
+  EXPECT_GT(recvs[0].arrival, recvs[0].post);  // the wait critpath charges
+  EXPECT_GE(recvs[0].time, recvs[0].arrival);
+}
+
+TEST(Flow, CollectiveRoundsAndTraceArrowsAreRecorded) {
+  const auto [trace, metrics] = run_instrumented(redist::ExchangeKind::kDense);
+  (void)metrics;
+  // The alltoallv rounds inside fine_grained_redistribute route through the
+  // same stamped p2p layer, so the trace must carry matched flow arrows.
+  EXPECT_NE(trace.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(Flow, MetricsOnlyRecorderRecordsNoFlows) {
+  auto rec = std::make_shared<obs::Recorder>(/*record_spans=*/false);
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.recorder = rec;
+  sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    comm.barrier();
+  });
+  EXPECT_TRUE(rec->rank(0).flows().empty());
+  EXPECT_TRUE(rec->rank(1).flows().empty());
+}
+
+// --- Critical-path reconstruction. ------------------------------------------
+
+TEST(Critpath, HandoffChainIsExactlyReconstructed) {
+  // Hand-built two-rank scenario with exact virtual times:
+  //   rank 0: md.step [0,10], compute "a" [0,8], send at t=8
+  //   rank 1: md.step [0,12], recv posted at 2, arrival 9, matched at 9.5
+  // Expected path: [0,8] local on rank 0, [8,9] in flight, [9,12] on rank 1.
+  obs::Recorder rec;
+  rec.attach(2);
+  obs::RankObs& r0 = rec.rank(0);
+  obs::RankObs& r1 = rec.rank(1);
+  double c0 = 0.0, c1 = 0.0;
+  r0.bind_clock(&c0);
+  r1.bind_clock(&c1);
+
+  r0.begin_span("md.step");
+  r0.begin_span("a");
+  c0 = 8.0;
+  r0.flow_send(/*id=*/1, /*peer=*/1, /*bytes=*/64);
+  r0.end_span();
+  c0 = 10.0;
+  r0.end_span();
+
+  r1.begin_span("md.step");
+  c1 = 9.5;
+  r1.flow_recv(/*id=*/1, /*peer=*/0, /*bytes=*/64, /*post=*/2.0,
+               /*arrival=*/9.0);
+  c1 = 12.0;
+  r1.end_span();
+
+  const obs::CritPathReport rep = obs::build_critpath(rec);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const obs::CritStep& s = rep.steps[0];
+  EXPECT_EQ(s.step, 0);
+  EXPECT_DOUBLE_EQ(s.begin, 0.0);
+  EXPECT_DOUBLE_EQ(s.end, 12.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 12.0);
+  EXPECT_DOUBLE_EQ(s.path, 12.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+  EXPECT_EQ(s.critical_rank, 1);
+  EXPECT_DOUBLE_EQ(s.comm, 1.0);
+  EXPECT_DOUBLE_EQ(s.ranks.at(0), 8.0);
+  EXPECT_DOUBLE_EQ(s.ranks.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("a"), 8.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("md.step"), 11.0);  // 8 on rank 0 + 3 on rank 1
+  ASSERT_EQ(s.links.size(), 1u);
+  EXPECT_EQ(s.links[0].src, 0);
+  EXPECT_EQ(s.links[0].dst, 1);
+  EXPECT_DOUBLE_EQ(s.links[0].seconds, 1.0);
+  EXPECT_EQ(s.links[0].msgs, 1u);
+  EXPECT_DOUBLE_EQ(s.slack.min, 0.0);  // the critical rank has no slack
+  EXPECT_DOUBLE_EQ(s.slack.max, 2.0);  // rank 0 finished its step at t=10
+  EXPECT_DOUBLE_EQ(rep.total.path, 12.0);
+  EXPECT_EQ(rep.total.critical_rank, 1);
+}
+
+TEST(Critpath, WaitTimeIsChargedToTheSender) {
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.recorder = rec;
+  // Non-zero wire time so the path carries a real flight segment.
+  cfg.network = std::make_shared<sim::SwitchedNetwork>();
+  sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    obs::Span step(ctx, "md.step");
+    if (ctx.rank() == 0) {
+      obs::Span work(ctx, "producer");
+      ctx.advance(1e-2);
+      work.end();
+      const double v = 1.0;
+      ctx.send(1, 1, &v, sizeof v);
+    } else {
+      obs::Span wait(ctx, "consumer");
+      (void)ctx.recv(0, 1);
+    }
+  });
+  const obs::CritPathReport rep = obs::build_critpath(*rec);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const obs::CritStep& s = rep.steps[0];
+  EXPECT_GT(s.coverage, 0.99);
+  // Rank 1 finishes last, but nearly all of its step was spent waiting on
+  // rank 0's compute, so the path must run through "producer".
+  EXPECT_EQ(s.critical_rank, 1);
+  ASSERT_TRUE(s.phases.count("producer"));
+  EXPECT_GT(s.phases.at("producer"), 0.9 * s.path);
+  ASSERT_EQ(s.links.size(), 1u);
+  EXPECT_EQ(s.links[0].src, 0);
+  EXPECT_EQ(s.links[0].dst, 1);
+}
+
+TEST(Critpath, ReportIsDeterministicAndCoversRealRuns) {
+  const auto [t1, m1] = run_instrumented(redist::ExchangeKind::kSparse);
+  const auto [t2, m2] = run_instrumented(redist::ExchangeKind::kSparse);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_NE(m1.find("\"critpath\""), std::string::npos);
+  EXPECT_NE(m1.find("\"coverage\""), std::string::npos);
+}
+
+TEST(Critpath, WholeRunFallbackWhenNoStepSpans) {
+  // run_instrumented has no md.step spans: the report must fall back to one
+  // whole-run window (steps empty, totals still populated).
+  auto rec = std::make_shared<obs::Recorder>();
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.recorder = rec;
+  sim::run_spmd(cfg, [](sim::RankCtx& ctx) {
+    obs::Span span(ctx, "only.phase");
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    comm.barrier();
+  });
+  const obs::CritPathReport rep = obs::build_critpath(*rec);
+  EXPECT_TRUE(rep.steps.empty());
+  EXPECT_GT(rep.total.path, 0.0);
+  EXPECT_GT(rep.total.coverage, 0.99);
+  EXPECT_TRUE(rep.total.phases.count("only.phase"));
+}
+
+TEST(Critpath, EnvKnobsSelectStepSpanAndDisableSection) {
+  ASSERT_EQ(::setenv("FIG_STEP_SPAN", "custom.window", 1), 0);
+  EXPECT_EQ(obs::critpath_options_from_env().step_span, "custom.window");
+  ::unsetenv("FIG_STEP_SPAN");
+  EXPECT_EQ(obs::critpath_options_from_env().step_span, "md.step");
+
+  const auto on = run_instrumented(redist::ExchangeKind::kDense);
+  EXPECT_NE(on.second.find("\"critpath\""), std::string::npos);
+  ASSERT_EQ(::setenv("FIG_CRITPATH", "0", 1), 0);
+  const auto off = run_instrumented(redist::ExchangeKind::kDense);
+  ::unsetenv("FIG_CRITPATH");
+  EXPECT_EQ(off.second.find("\"critpath\""), std::string::npos);
+  EXPECT_TRUE(json_valid(off.second));
+}
+
+// --- Export edge cases. -----------------------------------------------------
+
+TEST(Obs, ZeroEpochRecorderExportsDeterministically) {
+  obs::Recorder rec;
+  rec.attach(2);  // attached but nothing recorded
+  std::ostringstream t1, t2, m1, m2;
+  obs::write_chrome_trace(t1, {{"empty", &rec}});
+  obs::write_chrome_trace(t2, {{"empty", &rec}});
+  obs::write_metrics_json(m1, {{"empty", 0.0, &rec}});
+  obs::write_metrics_json(m2, {{"empty", 0.0, &rec}});
+  EXPECT_TRUE(json_valid(t1.str()));
+  EXPECT_TRUE(json_valid(m1.str()));
+  EXPECT_EQ(t1.str(), t2.str());
+  EXPECT_EQ(m1.str(), m2.str());
+}
+
+TEST(Obs, RankWithNoSpansStillExports) {
+  obs::Recorder rec;
+  rec.attach(3);
+  double clock = 0.0;
+  rec.rank(1).bind_clock(&clock);
+  rec.rank(1).begin_span("md.step");
+  clock = 2.0;
+  rec.rank(1).end_span();
+  rec.rank(2).add("lonely.counter", 5.0);
+  std::ostringstream trace, metrics;
+  obs::write_chrome_trace(trace, {{"partial", &rec}});
+  obs::write_metrics_json(metrics, {{"partial", 2.0, &rec}});
+  EXPECT_TRUE(json_valid(trace.str()));
+  EXPECT_TRUE(json_valid(metrics.str()));
+  EXPECT_NE(metrics.str().find("\"lonely.counter\""), std::string::npos);
+}
+
+TEST(Obs, CounterOnlyRunOmitsCritpathSection) {
+  obs::Recorder rec(/*record_spans=*/false);
+  rec.attach(2);
+  rec.rank(0).add("x", 1.0);
+  rec.rank(1).add("x", 2.0);
+  std::ostringstream m1, m2;
+  obs::write_metrics_json(m1, {{"counters", 1.0, &rec}});
+  obs::write_metrics_json(m2, {{"counters", 1.0, &rec}});
+  EXPECT_TRUE(json_valid(m1.str()));
+  EXPECT_EQ(m1.str(), m2.str());
+  EXPECT_EQ(m1.str().find("\"critpath\""), std::string::npos);
+  EXPECT_NE(m1.str().find("\"x\""), std::string::npos);
+}
+
+TEST(Obs, LeakedSpanIsDetectedAtExport) {
+  obs::Recorder rec;
+  rec.attach(1);
+  double clock = 0.0;
+  rec.rank(0).bind_clock(&clock);
+  rec.rank(0).begin_span("leaky.phase");
+
+  const auto leaks = rec.leaked_spans();
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].rank, 0);
+  EXPECT_EQ(leaks[0].name, "leaky.phase");
+
+  std::ostringstream trace, metrics;
+#ifndef NDEBUG
+  // Debug builds fail fast naming the offending span.
+  EXPECT_THROW(obs::write_chrome_trace(trace, {{"run", &rec}}), fcs::Error);
+  try {
+    obs::write_chrome_trace(trace, {{"run", &rec}});
+  } catch (const fcs::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("leaky.phase"), std::string::npos);
+  }
+  EXPECT_THROW(obs::write_metrics_json(metrics, {{"run", 1.0, &rec}}),
+               fcs::Error);
+#else
+  // Release builds degrade gracefully: skip the span-derived data but still
+  // emit valid JSON.
+  obs::write_chrome_trace(trace, {{"run", &rec}});
+  obs::write_metrics_json(metrics, {{"run", 1.0, &rec}});
+  EXPECT_TRUE(json_valid(trace.str()));
+  EXPECT_TRUE(json_valid(metrics.str()));
+  EXPECT_EQ(trace.str().find("\"leaky.phase\""), std::string::npos);
+  EXPECT_EQ(metrics.str().find("\"critpath\""), std::string::npos);
+#endif
+}
+
+// --- Buffer-pool high-water-mark gauges. ------------------------------------
+
+TEST(Obs, BufferPoolHwmGaugesTrackPeakOutstanding) {
+  obs::Recorder rec;
+  rec.attach(1);
+  obs::RankObs* o = &rec.rank(0);
+  mpi::BufferPool pool;
+  auto a = pool.acquire(100, o);
+  auto b = pool.acquire(50, o);  // peak: 150 bytes across 2 buffers
+  pool.release(std::move(b), o);
+  auto c = pool.acquire(30, o);  // 130 outstanding: below the mark
+  pool.release(std::move(a), o);
+  pool.release(std::move(c), o);
+  EXPECT_EQ(pool.bytes_hwm(), 150u);
+  EXPECT_EQ(pool.buffers_hwm(), 2u);
+  // The gauge is emitted as monotone counter increments, so the exported
+  // total equals the high-water mark.
+  const auto reduced = rec.reduce_counters();
+  EXPECT_EQ(reduced.at("pool.bytes_hwm").totals.sum, 150.0);
+  EXPECT_EQ(reduced.at("pool.buffers_hwm").totals.sum, 2.0);
+}
+
+TEST(Obs, PoolHwmGaugesReachTheMetricsExport) {
+  const auto [trace, metrics] = run_instrumented(redist::ExchangeKind::kDense);
+  (void)trace;
+  EXPECT_NE(metrics.find("\"pool.bytes_hwm\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"pool.buffers_hwm\""), std::string::npos);
 }
 
 }  // namespace

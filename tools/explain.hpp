@@ -1,0 +1,144 @@
+// obs_explain: turn the metrics JSON written by obs::write_metrics_json into
+// human-readable answers.
+//
+// Two modes:
+//  * breakdown - one metrics file: per run, the critical-path story of the
+//    measured makespan (coverage, gating phases, slack, hot links).
+//  * diff - two metrics files (or --pair inside one): per matched run pair,
+//    the makespan delta attributed to critical-path phases and the largest
+//    counter movements, gated by a regression threshold exit code.
+//
+// Everything lives in this library so tests (and the lcov coverage floor) can
+// drive the full CLI through explain_main(); the obs_explain binary is a
+// two-line wrapper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tools {
+
+// --- minimal JSON ----------------------------------------------------------
+
+/// Parsed JSON value. Object member order is preserved (the exports are
+/// deterministic, so downstream output stays deterministic too).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  /// Member lookup on objects; null for missing keys or non-objects.
+  const Json* find(const std::string& key) const;
+  /// Number of the member `key`, or `fallback` when absent / not a number.
+  double number_or(const std::string& key, double fallback) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON document. Throws
+/// fcs::Error with byte offset on malformed input.
+Json parse_json(const std::string& text);
+
+// --- metrics model ---------------------------------------------------------
+
+struct LinkInfo {
+  int src = 0;
+  int dst = 0;
+  double seconds = 0.0;
+  std::uint64_t msgs = 0;
+};
+
+/// One critpath window (a step or the aggregate "total").
+struct CritStepInfo {
+  int step = -1;
+  double makespan = 0.0;
+  double path = 0.0;
+  double coverage = 0.0;
+  double comm = 0.0;
+  int critical_rank = 0;
+  double slack_mean = 0.0;
+  double slack_max = 0.0;
+  std::map<std::string, double> phases;
+  std::vector<LinkInfo> links;
+};
+
+struct RunInfo {
+  std::string label;
+  int nranks = 0;
+  double makespan = 0.0;
+  std::map<std::string, double> counter_sum;  // counter name -> total sum
+  bool has_critpath = false;
+  std::string step_span;
+  std::vector<CritStepInfo> steps;
+  CritStepInfo total;
+};
+
+/// Load all runs of one metrics JSON file. Throws fcs::Error on I/O or
+/// parse/shape problems.
+std::vector<RunInfo> load_metrics_file(const std::string& path);
+/// Same, from an in-memory document (tests).
+std::vector<RunInfo> parse_metrics(const std::string& text);
+
+// --- analysis --------------------------------------------------------------
+
+struct ExplainOptions {
+  int top = 8;                 // table rows per section
+  double threshold_pct = 0.0;  // diff: regression gate in percent
+  double min_coverage = -1.0;  // breakdown: fail below this coverage (<0: off)
+  bool by_index = false;       // diff: pair runs by position, not label
+  /// Explicit diff pairs "labelA=labelB"; overrides label/index matching.
+  std::vector<std::pair<std::string, std::string>> pairs;
+};
+
+struct PhaseDelta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  double delta() const { return b - a; }
+};
+
+struct RunDiff {
+  std::string label_a;
+  std::string label_b;
+  double makespan_a = 0.0;
+  double makespan_b = 0.0;
+  double delta() const { return makespan_b - makespan_a; }
+  double pct() const {
+    return makespan_a > 0.0 ? 100.0 * delta() / makespan_a : 0.0;
+  }
+  bool regressed = false;            // pct() > threshold
+  std::vector<PhaseDelta> phases;    // critpath seconds, |delta| descending
+  std::vector<PhaseDelta> counters;  // counter sums, |delta| descending
+};
+
+struct DiffResult {
+  std::vector<RunDiff> runs;
+  int regressions = 0;
+  std::vector<std::string> unmatched;  // labels with no partner
+};
+
+/// Pair up runs of A and B and compute per-pair deltas.
+DiffResult diff_runs(const std::vector<RunInfo>& a,
+                     const std::vector<RunInfo>& b,
+                     const ExplainOptions& opts);
+
+/// Breakdown report. Returns false when a critpath coverage fell below
+/// opts.min_coverage.
+bool print_breakdown(std::ostream& os, const std::vector<RunInfo>& runs,
+                     const ExplainOptions& opts);
+void print_diff(std::ostream& os, const DiffResult& diff,
+                const ExplainOptions& opts);
+
+/// The full CLI: exit code 0 = ok, 1 = regression / coverage gate tripped,
+/// 2 = usage, I/O, or parse error.
+int explain_main(int argc, const char* const* argv, std::ostream& out,
+                 std::ostream& err);
+
+}  // namespace tools

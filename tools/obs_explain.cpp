@@ -1,0 +1,9 @@
+// Thin entry point; all logic lives in the tools_explain library so tests
+// can drive the full CLI in-process.
+#include <iostream>
+
+#include "explain.hpp"
+
+int main(int argc, char** argv) {
+  return tools::explain_main(argc, argv, std::cout, std::cerr);
+}
