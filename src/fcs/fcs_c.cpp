@@ -26,6 +26,16 @@ FCSResult guarded(Fn&& fn) {
   try {
     fn();
     return FCS_SUCCESS;
+  } catch (const sim::RankCrashed&) {
+    // This rank itself is the one crashing (sim fault injection): the
+    // engine's kill marker must reach the fiber root, or the dead rank
+    // would keep running as a zombie behind the engine's back.
+    throw;
+  } catch (const sim::RankFailedError& e) {
+    // Must precede fcs::Error: RankFailedError derives from it, and the
+    // caller needs the distinct code to start a shrink/recover cycle.
+    g_last_error = e.what();
+    return FCS_ERR_RANK_FAILED;
   } catch (const fcs::Error& e) {
     g_last_error = e.what();
     return FCS_ERROR_LOGICAL;

@@ -26,6 +26,12 @@ typedef enum {
   FCS_ERROR_INVALID_ARGUMENT = 1,
   FCS_ERROR_LOGICAL = 2,
   FCS_ERROR_INTERNAL = 3,
+  /* A peer rank was declared dead (or the communicator revoked) during the
+   * call - ULFM's MPI_ERR_PROC_FAILED surfaced through the C API. The
+   * handle itself stays valid; the application decides whether to shrink
+   * and recover (see DESIGN.md §13) or abort. Details via
+   * fcs_get_last_error_message. */
+  FCS_ERR_RANK_FAILED = 4,
 } FCSResult;
 
 /* fcs_init: create a solver instance ("fmm", "pm"/"p2nfft", "direct") on

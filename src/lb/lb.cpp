@@ -94,4 +94,30 @@ void Balancer::set_cuts(std::array<std::vector<double>, 3> cuts) {
   have_cuts_ = true;
 }
 
+void Balancer::save(fcs::ByteWriter& w) const {
+  w.put(weight_);
+  w.put(static_cast<std::uint8_t>(have_weight_ ? 1 : 0));
+  w.put(imbalance_);
+  w.put(static_cast<std::uint8_t>(triggered_ ? 1 : 0));
+  w.put(static_cast<std::int32_t>(epochs_since_plan_));
+  w.put(last_bytes_);
+  w.put(static_cast<std::uint8_t>(have_splitters_ ? 1 : 0));
+  w.put_vector(splitters_);
+  w.put(static_cast<std::uint8_t>(have_cuts_ ? 1 : 0));
+  for (const std::vector<double>& c : cuts_) w.put_vector(c);
+}
+
+void Balancer::load(fcs::ByteReader& r) {
+  weight_ = r.get<double>();
+  have_weight_ = r.get<std::uint8_t>() != 0;
+  imbalance_ = r.get<double>();
+  triggered_ = r.get<std::uint8_t>() != 0;
+  epochs_since_plan_ = r.get<std::int32_t>();
+  last_bytes_ = r.get<double>();
+  have_splitters_ = r.get<std::uint8_t>() != 0;
+  splitters_ = r.get_vector<std::uint64_t>();
+  have_cuts_ = r.get<std::uint8_t>() != 0;
+  for (std::vector<double>& c : cuts_) c = r.get_vector<double>();
+}
+
 }  // namespace lb

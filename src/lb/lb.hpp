@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "support/serialize.hpp"
 
 namespace lb {
 
@@ -97,6 +98,11 @@ class Balancer {
   bool has_cuts() const { return have_cuts_; }
   const std::array<std::vector<double>, 3>& cuts() const { return cuts_; }
   void set_cuts(std::array<std::vector<double>, 3> cuts);
+
+  /// Checkpoint the mutable state (weight, trigger machine, current plan) -
+  /// the config is reconstructed by the restoring side, not saved.
+  void save(fcs::ByteWriter& w) const;
+  void load(fcs::ByteReader& r);
 
  private:
   LbConfig cfg_;

@@ -3,6 +3,8 @@
 // surrogate motion model for the long benchmark runs.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "fcs/fcs.hpp"
@@ -48,6 +50,17 @@ struct SimulationConfig {
   /// `exploit_max_movement` above are ignored, and the movement bound is
   /// always reported to the handle (the planner decides whether to use it).
   plan::PlanConfig plan{};
+  /// In-memory buddy checkpointing (src/fcs/checkpoint.hpp): snapshot the
+  /// recovery state every this many MD steps (plus once right after the
+  /// initial solver run). 0 disables checkpointing, which makes any rank
+  /// failure fatal. The FCS_CKPT_INTERVAL env knob overrides this value.
+  int checkpoint_interval = 0;
+  /// Rank-failure recovery factory: build a fresh fcs handle on the shrunk
+  /// communicator, configured exactly like the original (same solver, box,
+  /// accuracy, solver knobs). Required for recovery - a RankFailedError is
+  /// rethrown when it is missing; tuning, planner/balancer attachment and
+  /// adaptation-state restore are the driver's job, not the factory's.
+  std::function<std::unique_ptr<fcs::Fcs>(const mpi::Comm&)> rebuild_handle;
   /// Robustness testing: per-rank probability that, each time step, one
   /// local particle teleports to a uniform random box position WITHOUT
   /// raising the reported max movement - a deliberate violation of the
@@ -86,6 +99,14 @@ struct SimulationResult {
 
 /// Run the Figure 3 loop: tune, initial interactions, `steps` time steps.
 /// `handle` must have box and solver parameters configured. Collective.
+///
+/// Fault tolerance: with checkpointing enabled (cfg.checkpoint_interval /
+/// FCS_CKPT_INTERVAL > 0) and a rebuild_handle factory configured, a rank
+/// failure under the sim fault plan is survived: the remaining ranks agree
+/// on the dead set, shrink the communicator, the buddy of each dead rank
+/// re-hosts its particle shard from the guarded checkpoint, and the loop
+/// rolls back to the checkpointed step and replays deterministically (see
+/// DESIGN.md §13). Without checkpointing the RankFailedError propagates.
 SimulationResult run_simulation(const mpi::Comm& comm, fcs::Fcs& handle,
                                 LocalParticles& particles,
                                 const SimulationConfig& cfg);

@@ -75,6 +75,28 @@ std::vector<std::byte> BufferPool::acquire(std::size_t bytes,
   return buf;
 }
 
+void BufferPool::adopt_from(BufferPool& other, obs::RankObs* o) {
+  if (&other == this) return;
+  std::size_t adopted = 0;
+  std::size_t adopted_bytes = 0;
+  while (!other.free_.empty()) {
+    std::vector<std::byte> buf = std::move(other.free_.back());
+    other.free_.pop_back();
+    const std::size_t cap = buf.capacity();
+    other.retained_bytes_ -= std::min(other.retained_bytes_, cap);
+    if (free_.size() >= max_buffers_ || retained_bytes_ + cap > max_bytes_)
+      continue;  // over budget here: let the buffer free itself
+    retained_bytes_ += cap;
+    free_.push_back(std::move(buf));
+    ++adopted;
+    adopted_bytes += cap;
+  }
+  if (adopted > 0) {
+    obs::count(o, "pool.reclaimed", static_cast<double>(adopted));
+    obs::count(o, "pool.reclaimed_bytes", static_cast<double>(adopted_bytes));
+  }
+}
+
 void BufferPool::release(std::vector<std::byte>&& buf, obs::RankObs* o) {
   (void)o;
   const std::size_t cap = buf.capacity();

@@ -42,6 +42,14 @@ class BufferPool {
   /// Return a buffer to the free list (dropped when the pool is full).
   void release(std::vector<std::byte>&& buf, obs::RankObs* o);
 
+  /// Recovery: absorb the retained buffers of `other` - the pre-shrink
+  /// communicator's pool - so the shrunk communicator's steady state stays
+  /// allocation-free instead of re-growing from scratch. Buffers that were
+  /// in flight when the failure hit were already returned to `other` by the
+  /// RAII unwinding of the aborted exchange, so nothing leaks; each adopted
+  /// buffer counts as "pool.reclaimed" (bytes as "pool.reclaimed_bytes").
+  void adopt_from(BufferPool& other, obs::RankObs* o);
+
   std::size_t retained_buffers() const { return free_.size(); }
   std::size_t retained_bytes() const { return retained_bytes_; }
 

@@ -18,13 +18,19 @@ namespace {
 constexpr std::uint64_t kCollectiveBit = 1ULL << 43;
 constexpr int kMaxUserTag = (1 << 30) - 1;
 
+// Context id 0xFFFFF is reserved for the rank-failure recovery protocol
+// (see recovery.cpp); 0 is the world communicator. mix_context never emits
+// the reserved id so recovery traffic can always be told apart.
+constexpr std::uint64_t kRecoveryContext = 0xfffff;
+
 std::uint64_t mix_context(std::uint64_t parent, std::uint64_t a,
                           std::uint64_t b) {
   std::uint64_t h = parent * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL;
   h ^= a + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   h *= 0xbf58476d1ce4e5b9ULL;
   h ^= b + 0x94d049bb133111ebULL + (h << 6) + (h >> 2);
-  return (h >> 16) & 0xfffff;  // 20-bit context id space
+  h = (h >> 16) & 0xfffff;  // 20-bit context id space
+  return h == kRecoveryContext ? 0x7a11e : h;
 }
 
 }  // namespace

@@ -34,6 +34,11 @@ namespace mpi {
 inline constexpr int kAnySource = sim::kAnySource;
 inline constexpr int kAnyTag = -1;
 
+/// Raised out of any communication call when a peer rank has been declared
+/// dead (ULFM's MPI_ERR_PROC_FAILED) or the communicator was revoked
+/// (failed_rank() == -1). See sim/engine.hpp and DESIGN.md §13.
+using RankFailedError = sim::RankFailedError;
+
 struct Status {
   int source = 0;
   int tag = 0;
@@ -68,6 +73,9 @@ struct OpXor {
 };
 
 class Comm;
+
+/// Result of Comm::shrink_recover (defined after Comm).
+struct ShrinkResult;
 
 /// Non-blocking operation handle. Sends complete eagerly; receives are
 /// matched lazily at wait() time (legal because sends never block).
@@ -334,6 +342,37 @@ class Comm {
   Comm split(int color, int key) const;
   Comm dup() const;
 
+  // --- rank-failure recovery (ULFM-style; implemented in recovery.cpp) ------
+
+  /// This communicator's 20-bit tag context id (diagnostics, recovery).
+  std::uint64_t context_id() const { return group_->context_id; }
+
+  /// Raise an engine-wide revocation (MPI_Comm_revoke): every rank blocked in
+  /// a receive wakes up and its next communication throws RankFailedError
+  /// unless it is already in recovery mode. Idempotent per recovery round.
+  void revoke() const { ctx_->revoke(); }
+
+  /// Fault-tolerant agreement on the failed subset of this communicator's
+  /// members (the ULFM MPI_Comm_agree recipe): survivors push their local
+  /// dead-set view to the lowest-ranked survivor they know of, which combines
+  /// them and distributes the result. Safe to call while peers are dying; if
+  /// the coordinator itself dies mid-protocol the survivors restart under the
+  /// next one (see DESIGN.md §13 for the uniformity caveat). `generation`
+  /// scopes the protocol's tags - the caller increments it per recovery
+  /// round. Returns the failed members as ranks OF THIS communicator,
+  /// ascending. Caller must already be in recovery mode.
+  std::vector<int> agree_failures(std::uint64_t generation) const;
+
+  /// ULFM shrink + cleanup, driven from a RankFailedError handler:
+  /// acknowledges the pending revocation, agrees on the failed set, builds a
+  /// dense survivor communicator with a deterministic fresh context id,
+  /// moves the parent's retained scratch buffers into the new pool
+  /// ("pool.reclaimed"), and purges every pending mailbox message that does
+  /// not belong to the new context (flushing collectives aborted by the
+  /// failure). All survivors of the parent communicator must call this with
+  /// the same `generation`.
+  ShrinkResult shrink_recover(std::uint64_t generation) const;
+
   // --- byte-level core (implemented in collectives.cpp / comm.cpp) ---------
 
   void send_bytes(const void* data, std::size_t bytes, int dst, int tag) const;
@@ -460,6 +499,11 @@ class Comm {
   int my_rank_ = -1;
   sim::RankCtx* ctx_ = nullptr;
   mutable std::uint64_t collective_seq_ = 0;
+};
+
+struct ShrinkResult {
+  Comm comm;                // dense survivor communicator
+  std::vector<int> failed;  // failed ranks of the parent comm, ascending
 };
 
 }  // namespace mpi

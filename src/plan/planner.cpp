@@ -345,4 +345,50 @@ void Planner::observe(const mpi::Comm& comm, const ObserveInputs& in) {
   obs::observe(o, "plan.mispredict.rate", mispredicted ? 1.0 : 0.0);
 }
 
+void CostModel::save(fcs::ByteWriter& w) const {
+  for (double c : coef_) w.put(c);
+}
+
+void CostModel::load(fcs::ByteReader& r) {
+  for (double& c : coef_) c = r.get<double>();
+}
+
+void Planner::save(fcs::ByteWriter& w) const {
+  model_.save(w);
+  for (const CostModel::Features& f : features_)
+    for (double v : f) w.put(v);
+  for (double v : rho_) w.put(v);
+  for (bool b : rho_set_) w.put(static_cast<std::uint8_t>(b ? 1 : 0));
+  w.put(static_cast<std::uint64_t>(decisions_.size()));
+  w.put_raw(decisions_.data(), decisions_.size());
+  w.put(static_cast<std::int32_t>(n_decisions_));
+  w.put(static_cast<std::int32_t>(n_auto_decisions_));
+  w.put(static_cast<std::int32_t>(n_probes_));
+  w.put(static_cast<std::int32_t>(n_mispredicts_));
+  w.put(static_cast<std::uint8_t>(pending_ ? 1 : 0));
+  w.put(static_cast<std::uint8_t>(pending_in_order_ ? 1 : 0));
+  w.put(static_cast<std::uint8_t>(pending_method_));
+  w.put(pending_alt_cost_);
+}
+
+void Planner::load(fcs::ByteReader& r) {
+  model_.load(r);
+  for (CostModel::Features& f : features_)
+    for (double& v : f) v = r.get<double>();
+  for (double& v : rho_) v = r.get<double>();
+  for (bool& b : rho_set_) b = r.get<std::uint8_t>() != 0;
+  const std::uint64_t len = r.get<std::uint64_t>();
+  FCS_CHECK(len <= r.remaining(), "planner checkpoint: bad decision string");
+  decisions_.resize(static_cast<std::size_t>(len));
+  if (len > 0) r.get_raw(decisions_.data(), decisions_.size());
+  n_decisions_ = r.get<std::int32_t>();
+  n_auto_decisions_ = r.get<std::int32_t>();
+  n_probes_ = r.get<std::int32_t>();
+  n_mispredicts_ = r.get<std::int32_t>();
+  pending_ = r.get<std::uint8_t>() != 0;
+  pending_in_order_ = r.get<std::uint8_t>() != 0;
+  pending_method_ = static_cast<Method>(r.get<std::uint8_t>());
+  pending_alt_cost_ = r.get<double>();
+}
+
 }  // namespace plan

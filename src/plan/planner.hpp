@@ -36,6 +36,7 @@
 
 #include "minimpi/comm.hpp"
 #include "plan/plan.hpp"
+#include "support/serialize.hpp"
 
 namespace plan {
 
@@ -98,6 +99,10 @@ class CostModel {
 
   const std::array<double, kTerms>& coefficients() const { return coef_; }
 
+  /// Checkpoint stream I/O (see support/serialize.hpp).
+  void save(fcs::ByteWriter& w) const;
+  void load(fcs::ByteReader& r);
+
  private:
   std::array<double, kTerms> coef_;
 };
@@ -159,6 +164,15 @@ class Planner {
   int decision_count() const { return n_decisions_; }
   int probe_count() const { return n_probes_; }
   int mispredict_count() const { return n_mispredicts_; }
+
+  /// Checkpoint the adaptation state: model coefficients, rho corrections,
+  /// feature cache, decision audit, and the pending decide() context - every
+  /// input of future decisions, so a rank restored from a buddy checkpoint
+  /// replays the exact decision sequence. The config is NOT saved; the
+  /// restoring side constructs the Planner with the same config (it comes
+  /// from the environment, which the crash does not change).
+  void save(fcs::ByteWriter& w) const;
+  void load(fcs::ByteReader& r);
 
   // --- Model introspection (tests, docs) ---------------------------------
   const CostModel& model() const { return model_; }

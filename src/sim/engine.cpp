@@ -28,11 +28,18 @@ void RankCtx::charge_bytes(double bytes) {
   obs::count(obs_, "sim.charge.bytes", bytes);
 }
 
+void RankCtx::check_crashed() {
+  if (clock_ < crash_at_) return;
+  obs::count(obs_, "sim.fault.crashes", 1.0);
+  throw RankCrashed{};
+}
+
 void RankCtx::send(int dst, std::uint64_t tag, const void* data,
                    std::size_t bytes) {
   const EngineConfig& cfg = engine_->config();
   FCS_CHECK(dst >= 0 && dst < cfg.nranks,
             "send to invalid rank " << dst << " of " << cfg.nranks);
+  check_crashed();
   maybe_stall();
   clock_ += cfg.send_overhead + static_cast<double>(bytes) / cfg.memory_rate +
             cfg.network->injection_time(rank_, dst, bytes);
@@ -75,7 +82,10 @@ void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
 
   // Reliable channel: a dropped DATA transmission costs one retransmission
   // timeout (exponential backoff) plus the re-injection overhead; the
-  // payload is only delivered once, after the drops.
+  // payload is only delivered once, after the drops. After max_retry
+  // consecutive drops the peer is presumed unreachable and the sender
+  // escalates to a peer-failure report instead of retrying forever - the
+  // signal the crash detector builds on.
   int attempt = 0;
   while (fi.drop_data(rank_, dst, chan_seq, attempt, clock_)) {
     if (obs_ != nullptr) obs_->add("sim.fault.dropped", 1.0);
@@ -83,6 +93,13 @@ void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
       // Fire and forget: the message is lost for good.
       if (obs_ != nullptr) obs_->add("sim.fault.lost", 1.0);
       return;
+    }
+    if (attempt + 1 >= fi.plan().max_retry) {
+      if (obs_ != nullptr) obs_->add("sim.fault.peer_reports", 1.0);
+      std::ostringstream oss;
+      oss << "rank " << rank_ << ": peer " << dst << " unreachable after "
+          << fi.plan().max_retry << " transmission attempts";
+      throw RankFailedError(dst, oss.str());
     }
     if (obs_ != nullptr) obs_->add("sim.reliable.retransmits", 1.0);
     delay += fi.rto(attempt);
@@ -111,6 +128,13 @@ void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
   if (fi.plan().reliable) {
     int ack_attempt = 0;
     while (fi.drop_ack(rank_, dst, chan_seq, attempt + ack_attempt, clock_)) {
+      if (attempt + ack_attempt + 1 >= fi.plan().max_retry) {
+        if (obs_ != nullptr) obs_->add("sim.fault.peer_reports", 1.0);
+        std::ostringstream oss;
+        oss << "rank " << rank_ << ": no ack from peer " << dst << " after "
+            << fi.plan().max_retry << " transmission attempts";
+        throw RankFailedError(dst, oss.str());
+      }
       if (obs_ != nullptr) {
         obs_->add("sim.fault.dropped", 1.0);
         obs_->add("sim.reliable.retransmits", 1.0);
@@ -146,8 +170,19 @@ void RankCtx::maybe_stall() {
 
 RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
   const EngineConfig& cfg = engine_->config();
+  check_crashed();
   maybe_stall();
   for (;;) {
+    // A pending revocation aborts the receive before any matching: the rank
+    // must fall back into its recovery driver instead of continuing a
+    // collective some participant already abandoned. The recovery protocol
+    // itself runs with recovery mode on and is exempt.
+    if (!recovery_mode_ && revoked()) {
+      std::ostringstream oss;
+      oss << "rank " << rank_ << ": communicator revoked while receiving"
+          << " from " << src;
+      throw RankFailedError(-1, oss.str());
+    }
     auto m = engine_->mailbox().try_match(rank_, src, tag);
     if (m.has_value()) {
       const double posted = clock_;
@@ -166,7 +201,28 @@ RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
       info.payload = std::move(m->payload);
       return info;
     }
+    // Failure detection on the virtual clock: a receive from a dead peer
+    // can never complete; the survivor notices one heartbeat timeout after
+    // the death and reports the failure instead of blocking forever.
+    if (src != kAnySource && engine_->rank_dead(src)) {
+      const double death = engine_->death_time(src);
+      const double timeout =
+          engine_->faults() != nullptr
+              ? engine_->faults()->plan().detect_timeout
+              : 0.0;
+      const double noticed = std::max(clock_, death + timeout);
+      if (obs_ != nullptr) {
+        obs_->add("sim.fault.detected", 1.0);
+        obs_->observe("sim.fault.detect_s", noticed - death);
+      }
+      clock_ = noticed;
+      std::ostringstream oss;
+      oss << "rank " << rank_ << ": peer " << src
+          << " failed (died at t=" << death << ")";
+      throw RankFailedError(src, oss.str());
+    }
     engine_->block_current(*this, src, tag);
+    check_crashed();
   }
 }
 
@@ -175,8 +231,46 @@ bool RankCtx::can_recv(int src, std::int64_t tag) const {
 }
 
 void RankCtx::yield() {
+  check_crashed();
   Fiber& f = *engine_->fibers_[static_cast<std::size_t>(rank_)];
   f.yield();
+}
+
+bool RankCtx::rank_failed(int world_rank) const {
+  return engine_->rank_dead(world_rank);
+}
+
+std::vector<int> RankCtx::failed_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < engine_->config().nranks; ++r)
+    if (engine_->rank_dead(r)) out.push_back(r);
+  return out;
+}
+
+void RankCtx::revoke() {
+  if (revoked()) return;  // a concurrent detector already raised this epoch
+  engine_->raise_revoke();
+  obs::count(obs_, "sim.fault.revokes", 1.0);
+}
+
+bool RankCtx::revoked() const {
+  return engine_->revoke_epoch_ > seen_revoke_epoch_;
+}
+
+void RankCtx::acknowledge_revoke() {
+  seen_revoke_epoch_ = engine_->revoke_epoch_;
+}
+
+std::size_t RankCtx::purge_mailbox(
+    const std::function<bool(std::uint64_t)>& keep) {
+  const auto msg_keep =
+      keep == nullptr
+          ? std::function<bool(const Message&)>()
+          : std::function<bool(const Message&)>(
+                [&keep](const Message& m) { return keep(m.tag); });
+  const std::size_t bytes = engine_->mailbox().purge(rank_, msg_keep);
+  obs::count(obs_, "sim.fault.purged_bytes", static_cast<double>(bytes));
+  return bytes;
 }
 
 Engine::Engine(EngineConfig config)
@@ -189,6 +283,18 @@ Engine::Engine(EngineConfig config)
   contexts_.reserve(static_cast<std::size_t>(config_.nranks));
   for (int r = 0; r < config_.nranks; ++r) contexts_.emplace_back(RankCtx(this, r));
   final_clocks_.resize(static_cast<std::size_t>(config_.nranks), 0.0);
+  dead_.resize(static_cast<std::size_t>(config_.nranks), 0);
+  death_time_.resize(static_cast<std::size_t>(config_.nranks), 0.0);
+  if (faults_ != nullptr && config_.fault_plan.affects_ranks()) {
+    for (int r = 0; r < config_.nranks; ++r) {
+      const double at = faults_->crash_time(r);
+      if (at == std::numeric_limits<double>::infinity()) continue;
+      contexts_[static_cast<std::size_t>(r)].crash_at_ = at;
+      ++doomed_pending_;
+    }
+    FCS_CHECK(doomed_pending_ < config_.nranks,
+              "fault plan crashes every rank; no survivor could finish");
+  }
   if (config_.recorder != nullptr) {
     config_.recorder->attach(config_.nranks);
     for (int r = 0; r < config_.nranks; ++r) {
@@ -221,6 +327,13 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
 
   int finished = 0;
   while (finished < config_.nranks) {
+    // Blocked ranks whose crash time has come must die on schedule even
+    // though no message will ever wake them; force-resume them before any
+    // later-clocked rank runs so death times stay causally ordered.
+    if (doomed_pending_ > 0)
+      maybe_wake_doomed(runnable_.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : runnable_.front().clock);
     if (runnable_.empty()) report_deadlock();
     std::pop_heap(runnable_.begin(), runnable_.end(), std::greater<HeapEntry>());
     const int r = runnable_.back().rank;
@@ -228,8 +341,20 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
 
     Fiber& f = *fibers_[static_cast<std::size_t>(r)];
     running_rank_ = r;
-    f.resume();  // rethrows rank exceptions
+    bool crashed = false;
+    try {
+      f.resume();  // rethrows rank exceptions
+    } catch (const RankCrashed&) {
+      crashed = true;  // scheduled rank crash, not an error
+    }
     running_rank_ = -1;
+    if (crashed) {
+      ++finished;
+      final_clocks_[static_cast<std::size_t>(r)] =
+          contexts_[static_cast<std::size_t>(r)].now();
+      declare_dead(r, contexts_[static_cast<std::size_t>(r)].now());
+      continue;
+    }
 
     switch (f.state()) {
       case Fiber::State::kFinished:
@@ -257,6 +382,14 @@ void Engine::block_current(RankCtx& ctx, int src, std::int64_t tag) {
 }
 
 bool Engine::deliver(int dst, Message m) {
+  // Messages addressed to a dead rank vanish (the crashed process can never
+  // consume them); senders are not told - like real MPI, a send to a failed
+  // peer may "succeed". Failures surface at the receive side.
+  if (dead_[static_cast<std::size_t>(dst)] != 0) {
+    obs::count(contexts_[static_cast<std::size_t>(m.src)].obs_,
+               "sim.fault.to_dead", 1.0);
+    return false;
+  }
   if (faults_ != nullptr && m.chan_seq != 0 &&
       !faults_->accept(dst, m.src, m.chan_seq)) {
     obs::count(contexts_[static_cast<std::size_t>(dst)].obs_,
@@ -266,6 +399,51 @@ bool Engine::deliver(int dst, Message m) {
   wake_if_waiting(dst, m);
   mailbox_.deliver(dst, std::move(m));
   return true;
+}
+
+void Engine::declare_dead(int rank, double at) {
+  const std::size_t r = static_cast<std::size_t>(rank);
+  FCS_ASSERT(dead_[r] == 0);
+  dead_[r] = 1;
+  death_time_[r] = at;
+  if (contexts_[r].crash_at_ != std::numeric_limits<double>::infinity())
+    --doomed_pending_;
+  // Drop whatever the dead rank had not consumed yet and wake every
+  // survivor blocked on a receive from it: their recv reports the failure.
+  mailbox_.purge(rank, nullptr);
+  for (int s = 0; s < config_.nranks; ++s) {
+    if (s == rank || dead_[static_cast<std::size_t>(s)] != 0) continue;
+    Fiber* const f = fibers_[static_cast<std::size_t>(s)].get();
+    if (f == nullptr || f->state() != Fiber::State::kBlocked) continue;
+    const RankCtx& ctx = contexts_[static_cast<std::size_t>(s)];
+    if (ctx.wait_src_ != rank) continue;
+    f->set_state(Fiber::State::kRunnable);
+    push_runnable(s, ctx.now());
+  }
+}
+
+void Engine::maybe_wake_doomed(double up_to) {
+  for (int r = 0; r < config_.nranks; ++r) {
+    RankCtx& ctx = contexts_[static_cast<std::size_t>(r)];
+    if (dead_[static_cast<std::size_t>(r)] != 0 || ctx.crash_at_ > up_to)
+      continue;
+    Fiber* const f = fibers_[static_cast<std::size_t>(r)].get();
+    if (f == nullptr || f->state() != Fiber::State::kBlocked) continue;
+    ctx.clock_ = std::max(ctx.clock_, ctx.crash_at_);
+    f->set_state(Fiber::State::kRunnable);
+    push_runnable(r, ctx.now());
+  }
+}
+
+void Engine::raise_revoke() {
+  ++revoke_epoch_;
+  for (int r = 0; r < config_.nranks; ++r) {
+    if (dead_[static_cast<std::size_t>(r)] != 0) continue;
+    Fiber* const f = fibers_[static_cast<std::size_t>(r)].get();
+    if (f == nullptr || f->state() != Fiber::State::kBlocked) continue;
+    f->set_state(Fiber::State::kRunnable);
+    push_runnable(r, contexts_[static_cast<std::size_t>(r)].now());
+  }
 }
 
 void Engine::wake_if_waiting(int dst, const Message& m) {

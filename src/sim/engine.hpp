@@ -13,19 +13,48 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "sim/fault.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
+#include "support/error.hpp"
 
 namespace sim {
 
 class Engine;
 class Fiber;
+
+/// Thrown out of send/recv when the engine has declared a peer rank dead
+/// (ULFM's MPI_ERR_PROC_FAILED) or when a pending communicator revocation
+/// reaches this rank (MPI_ERR_REVOKED, failed_rank() == -1). The recovery
+/// driver in md::run_simulation catches this, agrees on the failed set,
+/// shrinks the communicator and rolls back to the last buddy checkpoint;
+/// without a recovery driver it propagates out of Engine::run - the engine
+/// declares the rank dead instead of deadlocking either way.
+class RankFailedError : public fcs::Error {
+ public:
+  RankFailedError(int failed_rank, const std::string& what)
+      : fcs::Error(what), failed_rank_(failed_rank) {}
+  /// Engine (world) rank that failed; -1 for a revocation notice.
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// Kill marker thrown inside a crashing rank's fiber to unwind it; the
+/// engine catches it around resume() and declares the rank dead.
+/// Deliberately NOT derived from std::exception so ordinary error handlers
+/// pass it through. Any `catch (...)` that a crashing rank may unwind
+/// through (e.g. the C API's exception barrier) MUST rethrow this type,
+/// otherwise the dead rank keeps running as a zombie.
+struct RankCrashed {};
 
 struct EngineConfig {
   int nranks = 1;
@@ -90,12 +119,41 @@ class RankCtx {
 
   const EngineConfig& config() const;
 
+  // --- Rank-failure recovery (ULFM-style; see DESIGN.md §13) ---------------
+
+  /// Has the engine declared this world rank dead?
+  bool rank_failed(int world_rank) const;
+  /// Snapshot of all declared-dead world ranks, ascending. Monotone: the
+  /// set only grows over a run.
+  std::vector<int> failed_ranks() const;
+
+  /// Raise an engine-wide revocation: every blocked rank is woken and its
+  /// next recv throws RankFailedError(-1) unless it is in recovery mode.
+  /// Idempotent while this rank has not yet acknowledged the current
+  /// revocation, so concurrent detectors raise exactly one epoch.
+  void revoke();
+  /// A revocation was raised that this rank has not acknowledged yet.
+  bool revoked() const;
+  void acknowledge_revoke();
+
+  /// Recovery mode: recvs ignore a pending revocation (the shrink/agree
+  /// protocol must keep communicating) but still detect dead peers.
+  void set_recovery_mode(bool on) { recovery_mode_ = on; }
+  bool recovery_mode() const { return recovery_mode_; }
+
+  /// Drop pending incoming messages whose tag fails `keep` (nullptr drops
+  /// everything); returns discarded payload bytes. Used after shrink to
+  /// flush traffic of collectives aborted by the failure.
+  std::size_t purge_mailbox(const std::function<bool(std::uint64_t)>& keep);
+
  private:
   friend class Engine;
   RankCtx(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
 
   /// Apply any scheduled stall of this rank that has become due.
   void maybe_stall();
+  /// Kill this rank if its virtual clock has reached its crash time.
+  void check_crashed();
   /// Send path under an active fault plan: jitter/drop/duplicate decisions
   /// plus the reliable retry/ack protocol (see sim/fault.hpp).
   void send_faulty(int dst, std::size_t bytes, Message m);
@@ -107,6 +165,11 @@ class RankCtx {
   // Wait descriptor, valid while this rank is blocked in recv().
   int wait_src_ = 0;
   std::int64_t wait_tag_ = 0;
+  // Crash schedule of this rank (+infinity: never crashes).
+  double crash_at_ = std::numeric_limits<double>::infinity();
+  // Revocation epoch this rank has acknowledged (see Engine::revoke_epoch_).
+  std::uint64_t seen_revoke_epoch_ = 0;
+  bool recovery_mode_ = false;
 };
 
 class Engine {
@@ -130,11 +193,27 @@ class Engine {
   /// Null unless the configured fault plan is active.
   FaultInjector* faults() { return faults_.get(); }
 
+  /// Dead-rank introspection (tests, diagnostics).
+  bool rank_dead(int world_rank) const {
+    return dead_[static_cast<std::size_t>(world_rank)] != 0;
+  }
+  double death_time(int world_rank) const {
+    return death_time_[static_cast<std::size_t>(world_rank)];
+  }
+
  private:
   friend class RankCtx;
 
   void block_current(RankCtx& ctx, int src, std::int64_t tag);
   void wake_if_waiting(int dst, const Message& m);
+  /// Mark `rank` dead at virtual time `at` and wake every survivor blocked
+  /// on a receive from it (their recv then reports the failure).
+  void declare_dead(int rank, double at);
+  /// Force-resume blocked ranks whose crash time is <= `up_to` so they die
+  /// on schedule even when no message would ever wake them.
+  void maybe_wake_doomed(double up_to);
+  /// Bump the revocation epoch and wake every blocked surviving rank.
+  void raise_revoke();
   /// Deliver a message to dst's mailbox, waking it if it is blocked on a
   /// match. Under fault injection, duplicate copies (same chan_seq) are
   /// suppressed here - before matching - so probe-driven loops like the
@@ -165,6 +244,11 @@ class Engine {
   std::vector<double> final_clocks_;
   bool ran_ = false;
   int running_rank_ = -1;
+  // Rank-failure state (all zero unless the fault plan schedules crashes).
+  std::vector<char> dead_;
+  std::vector<double> death_time_;
+  std::uint64_t revoke_epoch_ = 0;
+  int doomed_pending_ = 0;  // live ranks with a finite crash time
 };
 
 /// Convenience wrapper: build an engine, run the body, return the makespan.

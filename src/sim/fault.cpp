@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -20,6 +22,29 @@ std::uint64_t env_u64(const char* name, std::uint64_t def) {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
 }
 
+/// Parse FCS_FAULT_CRASH: comma-separated "rank@vtime" entries, e.g.
+/// "3@0.005,7@0.012".
+std::vector<FaultPlan::Crash> parse_crashes(const char* spec) {
+  std::vector<FaultPlan::Crash> crashes;
+  const std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string entry = s.substr(pos, comma - pos);
+    const std::size_t at = entry.find('@');
+    FCS_CHECK(at != std::string::npos && at > 0 && at + 1 < entry.size(),
+              "FCS_FAULT_CRASH: entry '" << entry
+                  << "' is not of the form rank@vtime");
+    FaultPlan::Crash c;
+    c.rank = std::stoi(entry.substr(0, at));
+    c.at = std::stod(entry.substr(at + 1));
+    crashes.push_back(c);
+    pos = comma + 1;
+  }
+  return crashes;
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::from_env() {
@@ -33,6 +58,13 @@ FaultPlan FaultPlan::from_env() {
   plan.window_end = env_double("FCS_FAULT_END", plan.window_end);
   plan.reliable = env_u64("FCS_FAULT_RELIABLE", plan.reliable ? 1 : 0) != 0;
   plan.rto = env_double("FCS_FAULT_RTO", plan.rto);
+  if (const char* v = std::getenv("FCS_FAULT_CRASH"); v != nullptr && *v)
+    plan.crashes = parse_crashes(v);
+  plan.crash_rate = env_double("FCS_FAULT_CRASH_RATE", plan.crash_rate);
+  plan.detect_timeout = env_double("FCS_FAULT_DETECT", plan.detect_timeout);
+  plan.max_retry = static_cast<int>(
+      env_u64("FCS_FAULT_MAX_RETRY",
+              static_cast<std::uint64_t>(plan.max_retry)));
   return plan;
 }
 
@@ -45,8 +77,12 @@ FaultInjector::FaultInjector(FaultPlan plan, int nranks)
   check_rate(plan_.drop_rate, "drop");
   check_rate(plan_.duplicate_rate, "duplicate");
   check_rate(plan_.jitter_rate, "jitter");
+  check_rate(plan_.crash_rate, "crash");
   FCS_CHECK(plan_.jitter_max >= 0.0, "fault plan: negative jitter_max");
   FCS_CHECK(plan_.rto > 0.0, "fault plan: rto must be positive");
+  FCS_CHECK(plan_.detect_timeout >= 0.0,
+            "fault plan: negative detect_timeout");
+  FCS_CHECK(plan_.max_retry >= 1, "fault plan: max_retry must be >= 1");
   for (const FaultPlan::Stall& s : plan_.stalls) {
     FCS_CHECK(s.rank >= 0 && s.rank < nranks,
               "fault plan: stall names invalid rank " << s.rank);
@@ -58,6 +94,35 @@ FaultInjector::FaultInjector(FaultPlan plan, int nranks)
               [](const FaultPlan::Stall& a, const FaultPlan::Stall& b) {
                 return a.at < b.at;
               });
+
+  // Fix each rank's crash time once: the earliest scheduled crash, combined
+  // with the probabilistic draw over the fault window. Drawing here (not per
+  // query) keeps the schedule independent of execution order.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (PerRank& r : ranks_) r.crash_at = inf;
+  for (const FaultPlan::Crash& c : plan_.crashes) {
+    FCS_CHECK(c.rank >= 0 && c.rank < nranks,
+              "fault plan: crash names invalid rank " << c.rank);
+    FCS_CHECK(c.at >= 0.0, "fault plan: negative crash time");
+    PerRank& r = ranks_[static_cast<std::size_t>(c.rank)];
+    r.crash_at = std::min(r.crash_at, c.at);
+  }
+  if (plan_.crash_rate > 0.0) {
+    const double begin = plan_.window_begin;
+    const double end = plan_.window_end < 1.0e299 ? plan_.window_end
+                                                  : begin + 1.0;
+    for (int rank = 0; rank < nranks; ++rank) {
+      const std::uint64_t key = static_cast<std::uint64_t>(rank);
+      if (u01(6, key, 0, 0) >= plan_.crash_rate) continue;
+      const double at = begin + u01(7, key, 0, 0) * (end - begin);
+      PerRank& r = ranks_[static_cast<std::size_t>(rank)];
+      r.crash_at = std::min(r.crash_at, at);
+    }
+  }
+}
+
+double FaultInjector::crash_time(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].crash_at;
 }
 
 std::uint64_t FaultInjector::next_chan_seq(int src, int dst) {

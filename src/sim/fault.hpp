@@ -56,10 +56,39 @@ struct FaultPlan {
   };
   std::vector<Stall> stalls;
 
+  /// Scheduled rank crash: the rank dies at its first engine interaction at
+  /// or after virtual time `at` - it stops sending and acking, and the
+  /// engine declares it dead instead of deadlocking (see engine.hpp).
+  struct Crash {
+    int rank = 0;
+    double at = 0.0;
+  };
+  std::vector<Crash> crashes;
+
+  /// Probabilistic crashes: per-rank probability of one crash inside the
+  /// fault window. The crash time is drawn uniformly over the window; with
+  /// an unbounded window_end the draw covers [window_begin, window_begin+1)
+  /// virtual seconds. Decisions are counter-mode like the message faults,
+  /// so a given seed crashes the same ranks at the same times every run.
+  double crash_rate = 0.0;
+
+  /// Failure-detection timeout on the virtual clock: a survivor blocked on
+  /// a dead peer notices the failure `detect_timeout` virtual seconds after
+  /// the peer's death (the heartbeat-timeout model).
+  double detect_timeout = 5.0e-4;
+
+  /// Reliable-channel bound: after this many consecutive dropped
+  /// transmissions of one message the sender escalates to a peer-failure
+  /// report (sim::RankFailedError) instead of retrying forever.
+  int max_retry = 16;
+
   bool affects_messages() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || jitter_rate > 0.0;
   }
-  bool active() const { return affects_messages() || !stalls.empty(); }
+  bool affects_ranks() const { return !crashes.empty() || crash_rate > 0.0; }
+  bool active() const {
+    return affects_messages() || affects_ranks() || !stalls.empty();
+  }
 
   /// Build a plan from the FCS_FAULT_* environment knobs (see README,
   /// "Robustness testing"). Unset variables keep the defaults above; with
@@ -89,6 +118,11 @@ class FaultInjector {
   /// backoff, capped so the doubling cannot overflow).
   double rto(int attempt) const;
 
+  /// Virtual time at which `rank` crashes, or +infinity if it never does.
+  /// Combines the scheduled crashes (earliest wins) with the probabilistic
+  /// draw; fixed at construction so the schedule is identical every run.
+  double crash_time(int rank) const;
+
   /// Receiver-side duplicate suppression: true if `chan_seq` from `src` is
   /// fresh for `dst` (and records it), false if it was seen before.
   bool accept(int dst, int src, std::uint64_t chan_seq);
@@ -110,6 +144,7 @@ class FaultInjector {
     std::unordered_map<int, std::uint64_t> last_seq_from;
     std::vector<FaultPlan::Stall> stalls;  // sorted by `at`
     std::size_t next_stall = 0;
+    double crash_at = 0.0;  // +infinity when the rank never crashes
   };
   std::vector<PerRank> ranks_;
 };

@@ -1,5 +1,7 @@
 #include "sim/mailbox.hpp"
 
+#include <iterator>
+
 #include "support/error.hpp"
 
 namespace sim {
@@ -84,6 +86,26 @@ std::size_t Mailbox::pending_total() const {
 
 std::size_t Mailbox::pending_for(int dst) const {
   return pending_[static_cast<std::size_t>(dst)];
+}
+
+std::size_t Mailbox::purge(int dst,
+                           const std::function<bool(const Message&)>& keep) {
+  auto& by_source = queues_[static_cast<std::size_t>(dst)];
+  std::size_t dropped_bytes = 0;
+  for (auto it = by_source.begin(); it != by_source.end();) {
+    std::deque<Message>& q = it->second;
+    for (std::size_t i = 0; i < q.size();) {
+      if (keep != nullptr && keep(q[i])) {
+        ++i;
+        continue;
+      }
+      dropped_bytes += q[i].payload.size();
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      --pending_[static_cast<std::size_t>(dst)];
+    }
+    it = q.empty() ? by_source.erase(it) : std::next(it);
+  }
+  return dropped_bytes;
 }
 
 }  // namespace sim

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,12 @@ class Mailbox {
   /// Number of undelivered messages across all ranks (leak check in tests).
   std::size_t pending_total() const;
   std::size_t pending_for(int dst) const;
+
+  /// Drop every pending message of `dst` for which `keep` returns false
+  /// (keep == nullptr drops everything). Returns the number of payload
+  /// bytes discarded. Used by the recovery path to flush traffic of aborted
+  /// collectives after a rank failure.
+  std::size_t purge(int dst, const std::function<bool(const Message&)>& keep);
 
   std::uint64_t next_seq() { return seq_counter_++; }
 

@@ -1,0 +1,107 @@
+// Minimal byte-stream serialization for in-memory checkpoints.
+//
+// The buddy-checkpoint subsystem (src/fcs/checkpoint.*) snapshots particle
+// arrays, RNG engines and the planner/balancer adaptation state into one
+// contiguous byte blob that travels through the pooled-buffer exchange. To
+// keep the steady state allocation-free the writer supports a measuring
+// mode: a first pass with a null destination computes the exact blob size,
+// the caller acquires a pooled buffer of that size, and a second pass writes
+// into it. Readers parse the same stream back; every read is bounds-checked
+// so a truncated or corrupted blob raises fcs::Error instead of reading
+// out of bounds.
+//
+// The format is raw little-endian PODs (the simulator is single-process, so
+// no cross-architecture concerns) with u64 element counts before variable
+// sized arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fcs {
+
+/// Two-pass writer: measuring (data() == nullptr) or writing into a caller
+/// provided buffer of exactly the measured size.
+class ByteWriter {
+ public:
+  ByteWriter() = default;  // measuring mode
+  ByteWriter(std::byte* data, std::size_t capacity)
+      : data_(data), capacity_(capacity) {}
+
+  std::size_t size() const { return offset_; }
+  bool measuring() const { return data_ == nullptr; }
+
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_raw(&v, sizeof(T));
+  }
+
+  template <class T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) put_raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void put_raw(const void* p, std::size_t bytes) {
+    if (data_ != nullptr) {
+      FCS_CHECK(offset_ + bytes <= capacity_,
+                "serialize: writer overflow at offset " << offset_);
+      std::memcpy(data_ + offset_, p, bytes);
+    }
+    offset_ += bytes;
+  }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t offset_ = 0;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool done() const { return offset_ == size_; }
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    get_raw(&v, sizeof(T));
+    return v;
+  }
+
+  template <class T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = get<std::uint64_t>();
+    FCS_CHECK(n * sizeof(T) <= remaining(),
+              "serialize: vector of " << n << " elements exceeds blob");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) get_raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  void get_raw(void* p, std::size_t bytes) {
+    FCS_CHECK(offset_ + bytes <= size_,
+              "serialize: reader underflow at offset " << offset_);
+    std::memcpy(p, data_ + offset_, bytes);
+    offset_ += bytes;
+  }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace fcs

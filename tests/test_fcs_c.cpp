@@ -148,4 +148,56 @@ TEST(CApi, ResortWithoutMethodBFails) {
   });
 }
 
+TEST(CApi, RunReportsRankFailure) {
+  // Rank 1 crashes mid-run (sim fault injection); rank 0's next fcs_run
+  // must surface ULFM's "process failed" as FCS_ERR_RANK_FAILED with a
+  // retrievable message, instead of hanging or aborting.
+  //
+  // The crashed rank's fiber unwinds without ever reaching its own
+  // fcs_destroy call, so the handle must be released by a guard or the
+  // (shared-process) simulator leaks it - LeakSanitizer enforces this.
+  struct HandleGuard {
+    FCS h = nullptr;
+    ~HandleGuard() {
+      if (h != nullptr) fcs_destroy(h);
+    }
+  };
+  sim::EngineConfig ecfg;
+  ecfg.nranks = 2;
+  ecfg.fault_plan.crashes.push_back({1, 1.0e-4});
+  sim::run_spmd(ecfg, [](sim::RankCtx& ctx) {
+    mpi::Comm c = mpi::Comm::world(ctx);
+    CSystem s = make_local_system(c, 4 * 4 * 4);
+    FCS handle = nullptr;
+    ASSERT_EQ(fcs_init(&handle, "pm", &c), FCS_SUCCESS);
+    HandleGuard guard{handle};
+    set_common_cube(handle, 10, true);
+    ASSERT_EQ(fcs_set_tolerance(handle, 1e-2), FCS_SUCCESS);
+    std::vector<double> phi(static_cast<std::size_t>(s.n));
+    std::vector<double> field(static_cast<std::size_t>(3 * s.n));
+    // Keep running until rank 1's crash time passes. Rank 1 dies INSIDE an
+    // fcs_run (the engine's kill marker must unwind through the C API's
+    // exception barrier); rank 0 then blocks on the dead peer and gets the
+    // failure code.
+    FCSResult rc = FCS_SUCCESS;
+    for (int i = 0; i < 200 && rc == FCS_SUCCESS; ++i) {
+      fcs_int n = s.n;
+      rc = i == 0 ? fcs_tune(handle, s.n, s.pos.data(), s.q.data())
+                  : fcs_run(handle, &n, s.n, s.pos.data(), s.q.data(),
+                            phi.data(), field.data());
+    }
+    // Only rank 0 reaches this point; the crashed rank's fiber is unwound.
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(rc, FCS_ERR_RANK_FAILED);
+    const char* message = nullptr;
+    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    ASSERT_NE(message, nullptr);
+    // The message names the failed peer.
+    EXPECT_NE(std::string(message).find("1"), std::string::npos) << message;
+    EXPECT_NE(std::string(message).find("fail"), std::string::npos) << message;
+    guard.h = nullptr;
+    ASSERT_EQ(fcs_destroy(handle), FCS_SUCCESS);
+  });
+}
+
 }  // namespace
