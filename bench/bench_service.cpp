@@ -1,0 +1,254 @@
+// Solver-service benchmark: a heavy arrival trace of independent coupled
+// simulations multiplexed over one rank pool, cold cache vs warm cache.
+//
+// Setup: one scheduler rank plus SVC_WORKERS workers (default 8). A
+// deterministic bursty trace of SVC_JOBS jobs (default 36) with mixed gang
+// sizes, particle counts, priorities and deadline classes arrives at
+// utilization near saturation. Every configuration first runs a preheat
+// pass (one job per distinct workload signature, identical in both modes,
+// cache reads disabled in cold mode) and then the measured trace; reported
+// latency is completion - arrival per job of the measured pass.
+//
+// The comparison isolates the service's warm-state lever: in warm mode each
+// gang restores the planner adaptation state (NLMS coefficients, rho-EWMA
+// bins) snapshotted by the preheat/preceding jobs of the same signature and
+// preloads the buffer pool's capacity classes, instead of re-learning from
+// the cold priors. Output: jobs/s throughput, p50/p99 job latency, warm
+// hits - per network model - plus BENCH_service.json (byte-identical
+// across reruns; the CI service leg asserts warm p99 <= cold p99).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/rng.hpp"
+#include "svc/service.hpp"
+#include "svc/signature.hpp"
+
+namespace {
+
+struct TraceConfig {
+  int njobs = 36;
+  int nworkers = 8;
+  /// Mean inter-arrival time in virtual seconds; the default saturates the
+  /// default pool (~90% utilization on the switched fabric).
+  double period = 0.02;
+  /// Shortest job length in steps; short jobs make the planner's cold-start
+  /// steps a large fraction of service time, which is what warm state wins.
+  int steps = 4;
+  /// Center of the per-step movement range (clustered hotspot jitter).
+  double motion = 0.5;
+};
+
+// Deterministic job trace: bursty Poisson-like arrivals (exponential gaps
+// via inverse transform on the bit-reproducible fcs::Rng), mixed gang
+// sizes, two particle-count buckets, mixed priorities/deadline classes.
+std::vector<svc::JobSpec> make_trace(const TraceConfig& cfg,
+                                     std::uint64_t seed) {
+  fcs::Rng rng(seed);
+  std::vector<svc::JobSpec> trace;
+  trace.reserve(static_cast<std::size_t>(cfg.njobs));
+  double t = 0.0;
+  for (int i = 0; i < cfg.njobs; ++i) {
+    svc::JobSpec job;
+    job.id = 1000 + static_cast<std::uint64_t>(i);
+    // Job mix: ~60% heavy FMM analyses of a clustered hotspot system on
+    // the whole pool - inhomogeneous enough that the load balancer has to
+    // work, so a converged warm decomposition is worth the most - and ~40%
+    // small PM/grid jobs on 2-4 ranks (gang-packing and backfill fodder).
+    const double pick = rng.uniform();
+    // Two per-rank size buckets (workload-signature dimension n_bucket).
+    const std::uint64_t per_rank = rng.uniform() < 0.5 ? 3072 : 6144;
+    if (pick < 0.6) {
+      job.solver = "fmm";
+      job.scenario = "clustered";
+      job.ranks = std::min(8, cfg.nworkers);
+    } else {
+      job.solver = "pm";
+      job.scenario = "grid";
+      job.ranks = std::min(pick < 0.8 ? 2 : 4, cfg.nworkers);
+    }
+    job.n_particles = per_rank * static_cast<std::uint64_t>(job.ranks);
+    job.steps = cfg.steps + static_cast<int>(rng.uniform_index(3));
+    job.motion = cfg.motion * (0.75 + 0.5 * rng.uniform());
+    job.seed = seed * 1000003 + job.id;
+    job.priority = static_cast<double>(rng.uniform_index(3));
+    job.deadline_class = rng.uniform() < 0.25 ? 1 : 0;
+    // Bursty arrivals: exponential gaps, occasionally compressed to model
+    // coupled submission bursts.
+    double gap = -cfg.period * std::log(1.0 - rng.uniform());
+    if (rng.uniform() < 0.3) gap *= 0.2;
+    t += gap;
+    job.arrival = t;
+    if (bench::env_size("SVC_DUMP", 0) != 0)
+      std::fprintf(stderr,
+                   "trace job=%llu ranks=%d n=%llu steps=%d motion=%.4f "
+                   "%s/%s prio=%.0f dc=%d arr=%.4f\n",
+                   static_cast<unsigned long long>(job.id), job.ranks,
+                   static_cast<unsigned long long>(job.n_particles),
+                   job.steps, job.motion, job.solver.c_str(),
+                   job.scenario.c_str(), job.priority, job.deadline_class,
+                   job.arrival);
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+// One preheat job per distinct workload signature of the measured trace,
+// all arriving at t=0 (the scheduler queues and gang-packs them).
+std::vector<svc::JobSpec> make_preheat(const std::vector<svc::JobSpec>& trace,
+                                       const svc::SvcConfig& cfg) {
+  std::vector<svc::JobSpec> preheat;
+  std::vector<std::string> seen;
+  std::uint64_t id = 1;
+  for (const svc::JobSpec& job : trace) {
+    const std::string key =
+        svc::WorkloadSignature::of(job, cfg.network, cfg.fields).key();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    svc::JobSpec p = job;
+    p.id = id++;
+    p.arrival = 0.0;
+    p.steps = 8;
+    p.priority = 0.0;
+    p.deadline_class = 0;
+    preheat.push_back(p);
+  }
+  return preheat;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (idx == 0) idx = 1;
+  if (idx > n) idx = n;
+  return v[idx - 1];
+}
+
+struct ModeOutcome {
+  svc::ServiceReport report;
+  double measured_span = 0.0;  // makespan - measured-trace start offset
+};
+
+ModeOutcome run_service(int nworkers,
+                        std::shared_ptr<const sim::NetworkModel> net,
+                        const std::string& net_label, bool warm,
+                        const std::vector<svc::JobSpec>& trace,
+                        const std::string& label) {
+  sim::EngineConfig ecfg;
+  ecfg.nranks = nworkers + 1;
+  ecfg.network = std::move(net);
+  ecfg.stack_bytes = 256 * 1024;
+  ecfg.recorder = bench::obs_session().begin_run(label);
+  sim::Engine engine(ecfg);
+  ModeOutcome out;
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm = mpi::Comm::world(ctx);
+    svc::SvcConfig cfg;
+    cfg.warm = warm;
+    cfg.network = net_label;
+    cfg = svc::svc_config_from_env(cfg);
+    cfg.warm = warm;  // the mode under test overrides the env knob
+    svc::WarmStateCache cache;
+
+    // Preheat pass: identical virtual-time behaviour in both modes (every
+    // signature is a cache miss here), it only fills the cache.
+    const std::vector<svc::JobSpec> preheat =
+        comm.rank() == 0 ? make_preheat(trace, cfg)
+                         : std::vector<svc::JobSpec>{};
+    svc::Service::run(comm, preheat, cfg, &cache);
+
+    // Measured pass: arrivals shifted past the preheat makespan. Only the
+    // scheduler reads the trace, so only rank 0 shifts it.
+    std::vector<svc::JobSpec> measured;
+    double offset = 0.0;
+    if (comm.rank() == 0) {
+      offset = ctx.now();
+      measured = trace;
+      for (svc::JobSpec& job : measured) job.arrival += offset;
+    }
+    svc::ServiceReport rep = svc::Service::run(comm, measured, cfg, &cache);
+    if (comm.rank() == 0) {
+      out.report = std::move(rep);
+      out.measured_span = out.report.makespan - offset;
+    }
+  });
+  bench::obs_session().end_run(engine.makespan());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TraceConfig tcfg;
+  tcfg.njobs = static_cast<int>(bench::env_size("SVC_JOBS", 36));
+  tcfg.nworkers = static_cast<int>(bench::env_size("SVC_WORKERS", 8));
+  tcfg.period = bench::env_double("SVC_PERIOD", 0.02);
+  tcfg.steps = static_cast<int>(bench::env_size("SVC_STEPS", 4));
+  tcfg.motion = bench::env_double("SVC_MOTION", 0.5);
+  const std::vector<svc::JobSpec> trace = make_trace(tcfg, 20130710);
+
+  std::printf("solver service: %d jobs over %d workers (+1 scheduler), "
+              "mean period %.4gs\n",
+              tcfg.njobs, tcfg.nworkers, tcfg.period);
+  std::printf("%-10s %-5s %9s %11s %11s %10s %5s\n", "network", "mode",
+              "jobs/s", "p50", "p99", "makespan", "warm");
+
+  std::vector<bench::Series> series;
+  double p99_cold = 0.0;
+  for (const std::string& net_label : {std::string("switched"),
+                                       std::string("torus")}) {
+    for (const bool warm : {false, true}) {
+      const std::string label =
+          net_label + (warm ? "-warm" : "-cold");
+      auto net = net_label == "switched"
+                     ? bench::juropa_like()
+                     : bench::juqueen_like(tcfg.nworkers + 1);
+      const ModeOutcome out = run_service(tcfg.nworkers, std::move(net),
+                                          net_label, warm, trace,
+                                          "service-" + label);
+      std::vector<double> latencies;
+      for (const svc::JobResult& jr : out.report.jobs)
+        latencies.push_back(jr.latency());
+      if (bench::env_size("SVC_DUMP", 0) != 0) {
+        for (const svc::JobResult& jr : out.report.jobs)
+          std::fprintf(stderr, "%s job=%llu ranks=%d dur=%.5f lat=%.5f %s\n",
+                       label.c_str(), static_cast<unsigned long long>(jr.id),
+                       jr.ranks, jr.end - jr.start, jr.latency(),
+                       jr.warm ? "warm" : "cold");
+      }
+      const double p50 = percentile(latencies, 0.50);
+      const double p99 = percentile(latencies, 0.99);
+      const double jobs_per_s =
+          out.measured_span > 0.0
+              ? static_cast<double>(out.report.jobs.size()) / out.measured_span
+              : 0.0;
+      if (!warm) p99_cold = p99;
+      std::printf("%-10s %-5s %9.2f %11.5f %11.5f %10.5f %5llu\n",
+                  net_label.c_str(), warm ? "warm" : "cold", jobs_per_s, p50,
+                  p99, out.measured_span,
+                  static_cast<unsigned long long>(out.report.warm_hits));
+      if (warm && p99_cold > 0.0)
+        std::printf("%-10s p99 improvement: %.1f%%\n", net_label.c_str(),
+                    100.0 * (1.0 - p99 / p99_cold));
+
+      bench::Series s;
+      s.name = label;
+      s.total_time = out.measured_span;
+      s.per_step = latencies;  // per JOB, ordered by job id
+      s.method = "auto";
+      s.network = net_label;
+      s.decisions = "wh=" + std::to_string(out.report.warm_hits) + ";adm=" +
+                    std::to_string(out.report.admitted) + ";bf=" +
+                    std::to_string(out.report.backfills) + ";rej=" +
+                    std::to_string(out.report.rejected);
+      series.push_back(std::move(s));
+    }
+  }
+  bench::write_bench_json("service", series);
+  return 0;
+}

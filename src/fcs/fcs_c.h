@@ -79,13 +79,19 @@ FCSResult fcs_resort_floats(FCS handle, fcs_float* data, fcs_int components,
 FCSResult fcs_resort_ints(FCS handle, fcs_int* data, fcs_int components,
                           fcs_int n_original);
 
-/* Last error message of a failed call (thread-local, valid until next call). */
+/* Last error message of a failed call (thread-local, valid until next call).
+ * Prefer fcs_get_last_error_message: with many concurrent sessions per rank
+ * (service mode) this global reflects whichever session failed most
+ * recently. */
 const char* fcs_last_error(void);
 
-/* ScaFaCoS-style variant of the above: store a pointer to the thread-local
- * message of the most recent failed call into *message. The pointer is valid
- * until the next API call on this thread. */
-FCSResult fcs_get_last_error_message(const char** message);
+/* ScaFaCoS-style error query, per session: store a pointer to `handle`'s
+ * most recent error message into *message. Each handle keeps its own text,
+ * so concurrent sessions cannot clobber each other. A NULL handle queries
+ * the thread-local fallback (for failures before a handle exists, e.g. a
+ * failed fcs_init). The pointer is valid until the next API call on the
+ * same handle (or, for NULL, on this thread). */
+FCSResult fcs_get_last_error_message(FCS handle, const char** message);
 
 FCSResult fcs_destroy(FCS handle);
 

@@ -1,0 +1,80 @@
+// Job descriptions for the solver service (src/svc/service.hpp).
+//
+// A job is one independent coupled simulation: a particle count, a solver
+// kind, a scenario (steps, surrogate motion), and scheduling attributes
+// (gang size, priority, deadline class). Jobs arrive as a trace ordered by
+// arrival time; the service admits them, carves a gang sub-communicator out
+// of the shared rank pool and runs the paper's Figure 3 loop on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/serialize.hpp"
+
+namespace svc {
+
+struct JobSpec {
+  std::uint64_t id = 0;
+  /// Virtual arrival time (seconds on the service clock).
+  double arrival = 0.0;
+  /// Gang size: how many worker ranks this job needs, all at once.
+  int ranks = 1;
+  /// Solver kind ("pm", "fmm", "direct"), forwarded to fcs::Fcs.
+  std::string solver = "pm";
+  /// Initial distribution scenario: "grid" (uniform process grid) or
+  /// "clustered" (drifting Gaussian hotspots - the redistribution-heavy
+  /// case where planner adaptation matters most).
+  std::string scenario = "grid";
+  /// Global particle count of the job's system (split across the gang).
+  std::uint64_t n_particles = 0;
+  /// MD time steps after the initial solve.
+  int steps = 4;
+  /// Surrogate per-step displacement (drives redistribution volume).
+  double motion = 1.0;
+  /// System + surrogate seed; two jobs with equal seeds run equal systems.
+  std::uint64_t seed = 1;
+  /// Base scheduling priority; higher dispatches first.
+  double priority = 0.0;
+  /// 0 = batch, 1 = interactive (gets the configured priority boost).
+  int deadline_class = 0;
+
+  /// Wire form for the scheduler -> worker assignment message.
+  void save(fcs::ByteWriter& w) const {
+    w.put(id);
+    w.put(arrival);
+    w.put(static_cast<std::int32_t>(ranks));
+    w.put(static_cast<std::uint64_t>(solver.size()));
+    w.put_raw(solver.data(), solver.size());
+    w.put(static_cast<std::uint64_t>(scenario.size()));
+    w.put_raw(scenario.data(), scenario.size());
+    w.put(n_particles);
+    w.put(static_cast<std::int32_t>(steps));
+    w.put(motion);
+    w.put(seed);
+    w.put(priority);
+    w.put(static_cast<std::int32_t>(deadline_class));
+  }
+
+  void load(fcs::ByteReader& r) {
+    id = r.get<std::uint64_t>();
+    arrival = r.get<double>();
+    ranks = r.get<std::int32_t>();
+    const std::uint64_t len = r.get<std::uint64_t>();
+    FCS_CHECK(len <= r.remaining(), "job spec: bad solver name length");
+    solver.resize(static_cast<std::size_t>(len));
+    if (len > 0) r.get_raw(solver.data(), solver.size());
+    const std::uint64_t slen = r.get<std::uint64_t>();
+    FCS_CHECK(slen <= r.remaining(), "job spec: bad scenario name length");
+    scenario.resize(static_cast<std::size_t>(slen));
+    if (slen > 0) r.get_raw(scenario.data(), scenario.size());
+    n_particles = r.get<std::uint64_t>();
+    steps = r.get<std::int32_t>();
+    motion = r.get<double>();
+    seed = r.get<std::uint64_t>();
+    priority = r.get<double>();
+    deadline_class = r.get<std::int32_t>();
+  }
+};
+
+}  // namespace svc

@@ -1,0 +1,444 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+
+#include "md/simulation.hpp"
+#include "md/system.hpp"
+#include "minimpi/cart.hpp"
+#include "obs/obs.hpp"
+#include "pm/pm_solver.hpp"
+#include "svc/signature.hpp"
+
+namespace svc {
+
+namespace {
+
+// User point-to-point tags on the service communicator.
+constexpr int kTagAssign = 101;  // scheduler -> every gang member
+constexpr int kTagDone = 102;    // gang leader -> scheduler
+
+// Gang-internal bcast root payload: has-warm flag + blob lengths.
+struct WarmHello {
+  std::uint8_t has_warm = 0;
+  std::uint64_t blob_bytes = 0;     // planner snapshot
+  std::uint64_t lb_blob_bytes = 0;  // balancer snapshot
+};
+
+struct DoneMsg {
+  std::uint64_t id = 0;
+  double end = 0.0;
+  std::uint8_t warm = 0;
+};
+
+bool env_flag(const char* name, bool def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+// The bench harness's solver setup (bench_common.hpp), duplicated here
+// because the service is a library layer, not a bench: paper accuracy, and
+// for PM the paper cutoff of 4.8 clamped so the halo fits one subdomain.
+void configure_solver(fcs::Fcs& handle, const std::string& solver,
+                      const domain::Box& box, int nranks) {
+  handle.set_common(box);
+  handle.set_accuracy(1e-3);
+  if (solver == "pm" || solver == "p2nfft") {
+    auto& pm_solver = dynamic_cast<pm::PmSolver&>(handle.solver());
+    const std::vector<int> dims = mpi::dims_create(nranks, 3);
+    const double min_sub = box.extent().x / dims[0];
+    pm_solver.set_cutoff(std::min(4.8, 0.9 * min_sub));
+    pm_solver.set_mesh(64);
+  }
+}
+
+// Run one job on its gang. Collective over `gang`; `members` are service
+// comm ranks (for the done message the leader sends back). Returns whether
+// the job was served warm.
+bool run_job(const mpi::Comm& service, const mpi::Comm& gang,
+             const JobSpec& spec, const SvcConfig& cfg,
+             WarmStateCache* cache) {
+  sim::RankCtx& ctx = gang.ctx();
+  obs::RankObs* const o = ctx.obs();
+  const std::string span_name = "svc.job." + std::to_string(spec.id);
+  obs::Span job_span(o, span_name);
+
+  const std::string key = WorkloadSignature::of(spec, cfg.network, cfg.fields).key();
+
+  // Warm handshake: the leader's cache decides; its planner blob is
+  // broadcast so every gang member restores the identical adaptation state
+  // (members' own cache histories may diverge - e.g. a rank that never ran
+  // this workload before joins a gang of veterans).
+  const bool caching = cfg.warm && cache != nullptr;
+  WarmHello hello;
+  std::vector<std::byte> blob;
+  std::vector<std::byte> lb_blob;
+  if (gang.rank() == 0 && caching) {
+    if (const WarmEntry* e = cache->find(key);
+        e != nullptr && !e->planner_blob.empty()) {
+      hello.has_warm = 1;
+      hello.blob_bytes = e->planner_blob.size();
+      hello.lb_blob_bytes = e->balancer_blob.size();
+      blob = e->planner_blob;
+      lb_blob = e->balancer_blob;
+    }
+  }
+  gang.bcast(&hello, 1, 0);
+  const bool warm = hello.has_warm != 0;
+  if (warm) {
+    blob.resize(static_cast<std::size_t>(hello.blob_bytes));
+    gang.bcast(blob.data(), blob.size(), 0);
+    if (hello.lb_blob_bytes > 0) {
+      lb_blob.resize(static_cast<std::size_t>(hello.lb_blob_bytes));
+      gang.bcast(lb_blob.data(), lb_blob.size(), 0);
+    }
+    obs::count(o, "svc.warm_restores", 1.0);
+  }
+
+  // Pool preload is per rank: capacity classes are local scratch sizing,
+  // not collective state, so each member warms from its own history.
+  if (caching) {
+    if (const WarmEntry* e = cache->find(key);
+        e != nullptr && !e->pool_classes.empty())
+      gang.pool().preload(e->pool_classes, o);
+  }
+
+  md::SystemConfig sys;
+  sys.n_global = spec.n_particles;
+  const bool clustered = spec.scenario == "clustered";
+  sys.distribution = clustered ? md::InitialDistribution::kClustered
+                               : md::InitialDistribution::kProcessGrid;
+  // A scenario names a GEOMETRY: clustered jobs of one signature share the
+  // hotspot layout (fixed system seed), so a converged decomposition plan
+  // transfers between them; the per-job seed drives the surrogate dynamics.
+  sys.seed = clustered ? 1234u : spec.seed;
+
+  md::LocalParticles particles = md::generate_system(gang, sys);
+  fcs::Fcs handle(gang, spec.solver);
+  configure_solver(handle, spec.solver, sys.box, gang.size());
+
+  md::SimulationConfig sim_cfg;
+  sim_cfg.box = sys.box;
+  sim_cfg.steps = spec.steps;
+  sim_cfg.modeled_compute = true;
+  sim_cfg.surrogate_motion = true;
+  sim_cfg.surrogate_step = spec.motion;
+  sim_cfg.surrogate_seed = spec.seed;
+  sim_cfg.plan.mode = plan::PlanMode::kAuto;
+  if (warm)
+    sim_cfg.plan.warm =
+        std::make_shared<const std::vector<std::byte>>(std::move(blob));
+  if (clustered) {
+    // Inhomogeneous systems run under dynamic load balancing; its converged
+    // decomposition is the warm cache's biggest lever (warm_cache.hpp).
+    sim_cfg.lb.enabled = true;
+    if (warm && !lb_blob.empty())
+      sim_cfg.lb.warm =
+          std::make_shared<const std::vector<std::byte>>(std::move(lb_blob));
+  }
+
+  md::run_simulation(gang, handle, particles, sim_cfg);
+
+  // Write the evolved state back: every member updates its own cache, so
+  // the NEXT gang containing any of these ranks can start warm whoever
+  // leads it. Planner state is symmetric across the gang by construction.
+  if (caching && handle.planner() != nullptr) {
+    WarmEntry& e = cache->upsert(key);
+    e.planner_blob = handle.planner()->snapshot();
+    if (handle.balancer() != nullptr && handle.balancer()->active())
+      e.balancer_blob = handle.balancer()->snapshot();
+    e.pool_classes = gang.pool().capacity_classes();
+    const redist::ResortPlan& rp = handle.resort_plan();
+    if (handle.last_run_resorted() && rp.valid()) {
+      const redist::ExchangePlan& plan = rp.plan();
+      e.plan_kind = static_cast<int>(plan.kind());
+      e.plan_send_bytes.assign(plan.send_counts().begin(),
+                               plan.send_counts().end());
+      if (plan.counts_known())
+        e.plan_recv_bytes.assign(plan.recv_counts().begin(),
+                                 plan.recv_counts().end());
+    }
+    ++e.sessions;
+  }
+
+  // Completion: the job ends when its slowest member does.
+  const double end = gang.allreduce(ctx.now(), mpi::OpMax{});
+  if (gang.rank() == 0) {
+    DoneMsg done{spec.id, end, static_cast<std::uint8_t>(warm ? 1 : 0)};
+    service.send(&done, 1, 0, kTagDone);
+  }
+  return warm;
+}
+
+// Worker loop: block for assignments, run each job on its gang, stop on
+// the shutdown marker.
+void run_worker(const mpi::Comm& service, const SvcConfig& cfg,
+                WarmStateCache* cache) {
+  for (;;) {
+    const std::vector<std::byte> raw =
+        service.recv_bytes_vec(0, kTagAssign, nullptr);
+    fcs::ByteReader r(raw.data(), raw.size());
+    const std::uint8_t kind = r.get<std::uint8_t>();
+    if (kind == 0) return;  // shutdown
+    JobSpec spec;
+    spec.load(r);
+    const std::vector<std::int32_t> members32 =
+        r.get_vector<std::int32_t>();
+    const std::vector<int> members(members32.begin(), members32.end());
+    const mpi::Comm gang = service.create_group(members, spec.id);
+    run_job(service, gang, spec, cfg, cache);
+  }
+}
+
+// --- the scheduler (rank 0) ------------------------------------------------
+
+struct Queued {
+  JobSpec spec;
+};
+
+struct InFlight {
+  JobSpec spec;
+  double start = 0.0;
+  std::vector<int> members;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const mpi::Comm& service, const std::vector<JobSpec>& trace,
+            const SvcConfig& cfg)
+      : service_(service),
+        ctx_(service.ctx()),
+        o_(service.ctx().obs()),
+        trace_(trace),
+        cfg_(cfg),
+        busy_(static_cast<std::size_t>(service.size()), 0) {
+    busy_[0] = 1;  // the scheduler never runs jobs
+  }
+
+  ServiceReport run() {
+    for (;;) {
+      admit();
+      drain();
+      dispatch();
+      if (next_ >= trace_.size() && queue_.empty() && running_.empty()) break;
+      if (running_.empty()) {
+        // Nothing in flight: jump straight to the next arrival. The queue
+        // must be empty here - every queued job fits the fully-free pool
+        // (admission rejects oversized jobs), so dispatch() drained it.
+        FCS_ASSERT(next_ < trace_.size());
+        step_to(trace_[next_].arrival);
+        continue;
+      }
+      if (next_ < trace_.size() && free_count() > 0) {
+        // Free capacity and future arrivals: step to the arrival; any
+        // completion landing earlier is drained at the top of the loop.
+        step_to(trace_[next_].arrival);
+        continue;
+      }
+      // Pool saturated (or trace exhausted): the next event that can change
+      // anything is a completion - block for it, waking exactly when the
+      // done message arrives.
+      consume_done(recv_done());
+    }
+    // Shut the workers down.
+    for (int r = 1; r < service_.size(); ++r) {
+      fcs::ByteWriter measure;
+      measure.put(static_cast<std::uint8_t>(0));
+      std::vector<std::byte> msg(measure.size());
+      fcs::ByteWriter w(msg.data(), msg.size());
+      w.put(static_cast<std::uint8_t>(0));
+      service_.send(msg.data(), msg.size(), r, kTagAssign);
+    }
+    std::sort(report_.jobs.begin(), report_.jobs.end(),
+              [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+    return std::move(report_);
+  }
+
+ private:
+  int free_count() const {
+    int n = 0;
+    for (std::size_t r = 1; r < busy_.size(); ++r)
+      if (busy_[r] == 0) ++n;
+    return n;
+  }
+
+  void step_to(double t) {
+    if (t > ctx_.now()) ctx_.advance(t - ctx_.now());
+  }
+
+  // Admit every arrival due by now, bounded by the queue limit. Jobs larger
+  // than the whole pool can never run and are rejected outright.
+  void admit() {
+    const double now = ctx_.now() + 1e-9;  // advance() rounding slack
+    while (next_ < trace_.size() && trace_[next_].arrival <= now) {
+      const JobSpec& spec = trace_[next_];
+      ++next_;
+      if (spec.ranks > static_cast<int>(busy_.size()) - 1 ||
+          static_cast<int>(queue_.size()) >= cfg_.max_queue) {
+        ++report_.rejected;
+        obs::count(o_, "svc.rejected", 1.0);
+        continue;
+      }
+      queue_.push_back(Queued{spec});
+      ++report_.admitted;
+      obs::count(o_, "svc.admitted", 1.0);
+      obs::count(o_, "svc.queued", 1.0);
+    }
+  }
+
+  // Consume every completion message already in the mailbox.
+  void drain() {
+    while (service_.can_recv(mpi::kAnySource, kTagDone))
+      consume_done(recv_done());
+  }
+
+  DoneMsg recv_done() {
+    DoneMsg done;
+    service_.recv(&done, 1, mpi::kAnySource, kTagDone);
+    return done;
+  }
+
+  void consume_done(const DoneMsg& done) {
+    const auto it =
+        std::find_if(running_.begin(), running_.end(),
+                     [&](const InFlight& f) { return f.spec.id == done.id; });
+    FCS_ASSERT(it != running_.end());
+    JobResult jr;
+    jr.id = done.id;
+    jr.arrival = it->spec.arrival;
+    jr.start = it->start;
+    jr.end = done.end;
+    jr.ranks = it->spec.ranks;
+    jr.warm = done.warm != 0;
+    report_.jobs.push_back(jr);
+    if (jr.warm) {
+      ++report_.warm_hits;
+      obs::count(o_, "svc.warm_hits", 1.0);
+    }
+    report_.makespan = std::max(report_.makespan, ctx_.now());
+    obs::count(o_, "svc.completed", 1.0);
+    for (int r : it->members) busy_[static_cast<std::size_t>(r)] = 0;
+    running_.erase(it);
+  }
+
+  double effective_priority(const Queued& q) const {
+    double eff = q.spec.priority + cfg_.aging * (ctx_.now() - q.spec.arrival);
+    if (q.spec.deadline_class == 1) eff += cfg_.interactive_boost;
+    return eff;
+  }
+
+  // Dispatch by effective priority with gang allocation; backfill lets a
+  // smaller fitting job overtake a blocked head-of-line job.
+  void dispatch() {
+    for (;;) {
+      if (queue_.empty()) return;
+      std::vector<std::size_t> order(queue_.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double pa = effective_priority(queue_[a]);
+                  const double pb = effective_priority(queue_[b]);
+                  if (pa != pb) return pa > pb;
+                  return queue_[a].spec.id < queue_[b].spec.id;
+                });
+      const int free = free_count();
+      std::size_t pick = queue_.size();
+      bool is_backfill = false;
+      if (queue_[order[0]].spec.ranks <= free) {
+        pick = order[0];
+      } else if (cfg_.backfill) {
+        for (std::size_t i = 1; i < order.size(); ++i) {
+          if (queue_[order[i]].spec.ranks <= free) {
+            pick = order[i];
+            is_backfill = true;
+            break;
+          }
+        }
+      }
+      if (pick == queue_.size()) return;
+      launch(queue_[pick].spec);
+      if (is_backfill) {
+        ++report_.backfills;
+        obs::count(o_, "svc.backfills", 1.0);
+      }
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  void launch(const JobSpec& spec) {
+    InFlight f;
+    f.spec = spec;
+    f.start = ctx_.now();
+    for (std::size_t r = 1;
+         r < busy_.size() && static_cast<int>(f.members.size()) < spec.ranks;
+         ++r) {
+      if (busy_[r] != 0) continue;
+      busy_[r] = 1;
+      f.members.push_back(static_cast<int>(r));
+    }
+    FCS_ASSERT(static_cast<int>(f.members.size()) == spec.ranks);
+
+    fcs::ByteWriter measure;
+    write_assignment(measure, spec, f.members);
+    std::vector<std::byte> msg(measure.size());
+    fcs::ByteWriter w(msg.data(), msg.size());
+    write_assignment(w, spec, f.members);
+    for (int r : f.members) service_.send(msg.data(), msg.size(), r, kTagAssign);
+
+    obs::count(o_, "svc.running", 1.0);
+    running_.push_back(std::move(f));
+  }
+
+  static void write_assignment(fcs::ByteWriter& w, const JobSpec& spec,
+                               const std::vector<int>& members) {
+    w.put(static_cast<std::uint8_t>(1));
+    spec.save(w);
+    std::vector<std::int32_t> members32(members.begin(), members.end());
+    w.put_vector(members32);
+  }
+
+  const mpi::Comm& service_;
+  sim::RankCtx& ctx_;
+  obs::RankObs* o_;
+  const std::vector<JobSpec>& trace_;
+  const SvcConfig cfg_;
+  std::vector<char> busy_;
+  std::size_t next_ = 0;
+  std::vector<Queued> queue_;
+  std::vector<InFlight> running_;
+  ServiceReport report_;
+};
+
+}  // namespace
+
+SvcConfig svc_config_from_env(const SvcConfig& fallback) {
+  SvcConfig cfg = fallback;
+  cfg.warm = env_flag("FCS_SVC_WARM", cfg.warm);
+  cfg.backfill = env_flag("FCS_SVC_BACKFILL", cfg.backfill);
+  if (const char* v = std::getenv("FCS_SVC_AGING"); v != nullptr && *v != '\0')
+    cfg.aging = std::strtod(v, nullptr);
+  if (const char* v = std::getenv("FCS_SVC_MAX_QUEUE");
+      v != nullptr && *v != '\0')
+    cfg.max_queue = static_cast<int>(std::strtol(v, nullptr, 10));
+  return cfg;
+}
+
+ServiceReport Service::run(const mpi::Comm& comm,
+                           const std::vector<JobSpec>& trace,
+                           const SvcConfig& cfg, WarmStateCache* cache) {
+  FCS_CHECK(comm.size() >= 2, "service needs a scheduler and >= 1 worker");
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    FCS_CHECK(trace[i - 1].arrival <= trace[i].arrival,
+              "service trace must be sorted by arrival");
+  if (comm.rank() == 0) {
+    obs::Span span(comm.ctx().obs(), "svc.schedule");
+    return Scheduler(comm, trace, cfg).run();
+  }
+  run_worker(comm, cfg, cache);
+  return ServiceReport{};
+}
+
+}  // namespace svc

@@ -1,0 +1,103 @@
+// The solver service: many concurrent coupled simulations multiplexed over
+// one rank pool, with cross-session warm state.
+//
+// Rank 0 of the service communicator is the dedicated scheduler; ranks
+// 1..P-1 form the worker pool. The scheduler admits jobs from a trace as
+// virtual time reaches their arrival, queues them (bounded by
+// FCS_SVC_MAX_QUEUE), and dispatches by effective priority
+//
+//   eff = base + aging * (now - arrival) + interactive_boost[deadline]
+//
+// with gang allocation (all of a job's ranks at once, lowest free ranks
+// first) and optional backfill (a lower-priority job that FITS the free
+// ranks may overtake a blocked head-of-line job; FCS_SVC_BACKFILL). Each
+// gang is carved out of the pool with mpi::Comm::create_group - zero
+// communication, context id derived from the member list and the job id -
+// so disjoint gangs progress fully independently under the virtual-time
+// engine, and a revoked gang never poisons its siblings.
+//
+// Warm state: before running, the gang leader looks up the job's workload
+// signature in its WarmStateCache and broadcasts the cached planner
+// snapshot over the gang (symmetry: every member restores the identical
+// blob, whatever its own cache history). The pool's warmed capacity classes
+// are preloaded per rank. After the job, every member writes its updated
+// snapshot back to its own cache. Scheduling decisions are pure functions
+// of virtual time and the trace, so a service run is deterministic and
+// byte-identical across reruns.
+//
+// Scheduler wake-up discipline: while free workers exist and future
+// arrivals remain, the scheduler advances its clock to the next arrival
+// (completions landing inside that window are drained then - dispatch is
+// delayed at most one inter-arrival gap, negligible on a heavy trace);
+// with no free workers, or after the last arrival, it blocks on the next
+// completion message, which is exact. Job latency is measured end - arrival
+// with the TRUE trace arrival, so admission timing never skews the metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "svc/job.hpp"
+#include "svc/warm_cache.hpp"
+
+namespace svc {
+
+/// Service knobs (env: FCS_SVC_WARM, FCS_SVC_BACKFILL, FCS_SVC_AGING,
+/// FCS_SVC_MAX_QUEUE; see README).
+struct SvcConfig {
+  /// Use the warm-state cache (planner snapshot + pool preload).
+  bool warm = true;
+  /// Allow smaller jobs to overtake a blocked head-of-line job.
+  bool backfill = true;
+  /// Priority gained per virtual second of queue wait (starvation brake).
+  double aging = 0.5;
+  /// Admission bound: arrivals beyond this queue depth are rejected.
+  int max_queue = 1024;
+  /// Priority boost of deadline_class 1 (interactive) jobs.
+  double interactive_boost = 4.0;
+  /// Network label entering the workload signature ("switched", "torus").
+  std::string network = "switched";
+  /// Extra per-particle fields resorted each step (md resorts vel + acc).
+  int fields = 2;
+};
+
+/// FCS_SVC_* environment overrides on top of `fallback`.
+SvcConfig svc_config_from_env(const SvcConfig& fallback);
+
+struct JobResult {
+  std::uint64_t id = 0;
+  double arrival = 0.0;
+  double start = 0.0;  // dispatch time on the scheduler clock
+  double end = 0.0;    // max gang-member clock at job completion
+  int ranks = 0;
+  bool warm = false;   // served from the warm cache
+
+  double latency() const { return end - arrival; }
+};
+
+struct ServiceReport {
+  /// Completed jobs, sorted by id (rank 0 only; empty on workers).
+  std::vector<JobResult> jobs;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t backfills = 0;
+  /// Scheduler clock when the last job completed.
+  double makespan = 0.0;
+};
+
+class Service {
+ public:
+  /// Run the service over `trace` (must be sorted by arrival). Collective
+  /// over `comm` (needs size >= 2: scheduler + at least one worker).
+  /// `cache` is this rank's warm-state cache; it survives the call, so a
+  /// second run on the same ranks starts warm. Null disables caching
+  /// regardless of cfg.warm.
+  static ServiceReport run(const mpi::Comm& comm,
+                           const std::vector<JobSpec>& trace,
+                           const SvcConfig& cfg, WarmStateCache* cache);
+};
+
+}  // namespace svc

@@ -1,0 +1,55 @@
+// Workload signatures: the warm-state cache key.
+//
+// Two jobs share warm state when the adaptation state learned by one
+// transfers to the other: same solver (phase structure), same scenario
+// (movement regime - the arm ranking learned on drifting hotspots does not
+// transfer to a uniform grid), similar per-rank particle count (cost
+// magnitudes; bucketed to the containing power of two), same gang size
+// (collective shapes), same network model, and the same extra-field set
+// riding the resort. The signature deliberately excludes
+// the seed and the step count: the planner's cost model depends on traffic
+// volume per step, not on how long the job runs or where particles start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/job.hpp"
+
+namespace svc {
+
+struct WorkloadSignature {
+  std::string solver;
+  std::string scenario;  // initial-distribution scenario (movement regime)
+  int n_bucket = 0;  // floor(log2(per-rank particle count))
+  int ranks = 0;
+  std::string network;
+  int fields = 0;  // extra per-particle fields resorted each step
+
+  static WorkloadSignature of(const JobSpec& job, const std::string& network,
+                              int fields) {
+    WorkloadSignature sig;
+    sig.solver = job.solver;
+    sig.scenario = job.scenario;
+    std::uint64_t per_rank =
+        job.n_particles / static_cast<std::uint64_t>(job.ranks > 0 ? job.ranks : 1);
+    if (per_rank == 0) per_rank = 1;
+    while (per_rank > 1) {
+      per_rank >>= 1;
+      ++sig.n_bucket;
+    }
+    sig.ranks = job.ranks;
+    sig.network = network;
+    sig.fields = fields;
+    return sig;
+  }
+
+  /// Cache key, e.g. "fmm/clustered/n13/r4/switched/f2".
+  std::string key() const {
+    return solver + "/" + scenario + "/n" + std::to_string(n_bucket) + "/r" +
+           std::to_string(ranks) + "/" + network + "/f" +
+           std::to_string(fields);
+  }
+};
+
+}  // namespace svc

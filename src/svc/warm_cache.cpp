@@ -1,0 +1,57 @@
+#include "svc/warm_cache.hpp"
+
+namespace svc {
+
+void WarmEntry::save(fcs::ByteWriter& w) const {
+  w.put_vector(planner_blob);
+  w.put_vector(balancer_blob);
+  std::vector<std::uint64_t> classes(pool_classes.begin(), pool_classes.end());
+  w.put_vector(classes);
+  w.put(static_cast<std::int32_t>(plan_kind));
+  w.put_vector(plan_send_bytes);
+  w.put_vector(plan_recv_bytes);
+  w.put(static_cast<std::int32_t>(sessions));
+}
+
+void WarmEntry::load(fcs::ByteReader& r) {
+  planner_blob = r.get_vector<std::byte>();
+  balancer_blob = r.get_vector<std::byte>();
+  const std::vector<std::uint64_t> classes = r.get_vector<std::uint64_t>();
+  pool_classes.assign(classes.begin(), classes.end());
+  plan_kind = r.get<std::int32_t>();
+  plan_send_bytes = r.get_vector<std::uint64_t>();
+  plan_recv_bytes = r.get_vector<std::uint64_t>();
+  sessions = r.get<std::int32_t>();
+}
+
+const WarmEntry* WarmStateCache::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+WarmEntry& WarmStateCache::upsert(const std::string& key) {
+  return entries_[key];
+}
+
+void WarmStateCache::save(fcs::ByteWriter& w) const {
+  w.put(static_cast<std::uint64_t>(entries_.size()));
+  for (const auto& [key, entry] : entries_) {
+    w.put(static_cast<std::uint64_t>(key.size()));
+    w.put_raw(key.data(), key.size());
+    entry.save(w);
+  }
+}
+
+void WarmStateCache::load(fcs::ByteReader& r) {
+  entries_.clear();
+  const std::uint64_t n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t len = r.get<std::uint64_t>();
+    FCS_CHECK(len <= r.remaining(), "warm cache: bad key length");
+    std::string key(static_cast<std::size_t>(len), '\0');
+    if (len > 0) r.get_raw(key.data(), key.size());
+    entries_[key].load(r);
+  }
+}
+
+}  // namespace svc

@@ -1,0 +1,74 @@
+// Cross-session warm state (the service's production lever).
+//
+// A single coupled run re-learns the machine every time: the adaptive
+// planner starts from cold priors and pays several mispredicted steps until
+// NLMS calibration catches up, the buffer pool re-grows its capacity
+// classes from scratch, and the first resort builds its exchange plan with
+// no history. A service running thousands of similar jobs should pay those
+// costs once per WORKLOAD, not once per job. The WarmStateCache keeps, per
+// workload signature (signature.hpp):
+//
+//   * the planner's full adaptation state (Planner::snapshot(): NLMS
+//     coefficients, rho-EWMA bins, feature cache, decision audit),
+//   * the load balancer's state (Balancer::snapshot(): smoothed cost model,
+//     trigger machine, and the CONVERGED decomposition plan - on clustered
+//     scenarios this is the biggest single lever, the next job starts
+//     balanced instead of paying the imbalanced early epochs),
+//   * the buffer pool's warmed capacity classes (BufferPool::
+//     capacity_classes(), preload()ed into the next gang's pool),
+//   * the skeleton of the session's final resort ExchangePlan (kind and
+//     per-partner byte counts) - enough to pre-size pools and attribute
+//     plan reuse, without pinning rank-specific slot indices that the next
+//     job's particle layout would invalidate.
+//
+// The cache is PER RANK (each fiber owns one); the gang leader's planner
+// blob is broadcast at job start so restored planner state is symmetric
+// across the gang even when members' cache histories diverge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/serialize.hpp"
+
+namespace svc {
+
+struct WarmEntry {
+  std::vector<std::byte> planner_blob;
+  std::vector<std::byte> balancer_blob;
+  std::vector<std::size_t> pool_classes;
+  /// Skeleton of the last session's final resort plan: redist::PlanKind as
+  /// int (-1 = none captured) plus per-partner byte counts.
+  int plan_kind = -1;
+  std::vector<std::uint64_t> plan_send_bytes;
+  std::vector<std::uint64_t> plan_recv_bytes;
+  /// How many completed sessions fed this entry (freshness diagnostics).
+  int sessions = 0;
+
+  void save(fcs::ByteWriter& w) const;
+  void load(fcs::ByteReader& r);
+};
+
+class WarmStateCache {
+ public:
+  /// Entry for `key`, or null when the workload was never seen.
+  const WarmEntry* find(const std::string& key) const;
+
+  /// Entry for `key`, created empty on first use.
+  WarmEntry& upsert(const std::string& key);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Whole-cache stream I/O (persistence across service incarnations; the
+  /// map is ordered so the byte stream is deterministic).
+  void save(fcs::ByteWriter& w) const;
+  void load(fcs::ByteReader& r);
+
+ private:
+  std::map<std::string, WarmEntry> entries_;
+};
+
+}  // namespace svc

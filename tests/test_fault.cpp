@@ -481,8 +481,10 @@ TEST(CApiRobustness, NoExceptionEscapesTheCBoundary) {
     // Unknown method: fcs::Error -> FCS_ERROR_LOGICAL, message retrievable.
     FCS bad = nullptr;
     EXPECT_EQ(fcs_init(&bad, "no-such-method", &c), FCS_ERROR_LOGICAL);
+    // fcs_init failed, so no session exists: the NULL-handle query reads
+    // the thread-local fallback.
     const char* message = nullptr;
-    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    ASSERT_EQ(fcs_get_last_error_message(nullptr, &message), FCS_SUCCESS);
     ASSERT_NE(message, nullptr);
     EXPECT_NE(std::string(message).find("no-such-method"), std::string::npos);
 
@@ -494,7 +496,7 @@ TEST(CApiRobustness, NoExceptionEscapesTheCBoundary) {
               FCS_ERROR_INVALID_ARGUMENT);
     EXPECT_EQ(fcs_get_resort_availability(nullptr, nullptr),
               FCS_ERROR_INVALID_ARGUMENT);
-    EXPECT_EQ(fcs_get_last_error_message(nullptr),
+    EXPECT_EQ(fcs_get_last_error_message(nullptr, nullptr),
               FCS_ERROR_INVALID_ARGUMENT);
 
     // A real handle: every failure path must come back as a code.
@@ -514,7 +516,7 @@ TEST(CApiRobustness, NoExceptionEscapesTheCBoundary) {
     const FCSResult rr =
         fcs_run(handle, &n_local, 1, pos, q, phi, field);
     EXPECT_EQ(rr, FCS_ERROR_LOGICAL);
-    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    ASSERT_EQ(fcs_get_last_error_message(handle, &message), FCS_SUCCESS);
     EXPECT_NE(message[0], '\0');
 
     // resort before any resorting run: logical error, not an exception.

@@ -148,6 +148,46 @@ TEST(CApi, ResortWithoutMethodBFails) {
   });
 }
 
+TEST(CApi, ErrorMessagesAreIsolatedPerSession) {
+  // Service mode runs many sessions per rank: one session's failure must
+  // not clobber another's retrievable message (the ScaFaCoS-style
+  // fcs_get_last_error_message contract, as opposed to the thread-local
+  // fcs_last_error fallback which always reflects the most recent failure).
+  run_ranks(2, [](mpi::Comm& c) {
+    FCS h1 = nullptr;
+    FCS h2 = nullptr;
+    ASSERT_EQ(fcs_init(&h1, "pm", &c), FCS_SUCCESS);
+    ASSERT_EQ(fcs_init(&h2, "pm", &c), FCS_SUCCESS);
+
+    // Fail h1 only: resort queries without a method-B run are a logic error.
+    double dummy = 0.0;
+    ASSERT_EQ(fcs_resort_floats(h1, &dummy, 1, 0), FCS_ERROR_LOGICAL);
+    const char* m1 = nullptr;
+    ASSERT_EQ(fcs_get_last_error_message(h1, &m1), FCS_SUCCESS);
+    EXPECT_NE(std::string(m1), "");
+    const char* m2 = nullptr;
+    ASSERT_EQ(fcs_get_last_error_message(h2, &m2), FCS_SUCCESS);
+    EXPECT_EQ(std::string(m2), "");  // h2 never failed
+
+    // Fail h2 differently: each handle keeps its own text.
+    ASSERT_EQ(fcs_resort_ints(h2, nullptr, 1, 0), FCS_ERROR_INVALID_ARGUMENT);
+    ASSERT_EQ(fcs_get_last_error_message(h2, &m2), FCS_SUCCESS);
+    ASSERT_EQ(fcs_get_last_error_message(h1, &m1), FCS_SUCCESS);
+    EXPECT_NE(std::string(m2), "");
+    EXPECT_NE(std::string(m1), std::string(m2));
+
+    // The NULL-handle query and the legacy global reflect the most recent
+    // failure on this thread, whichever session it belonged to.
+    const char* mg = nullptr;
+    ASSERT_EQ(fcs_get_last_error_message(nullptr, &mg), FCS_SUCCESS);
+    EXPECT_EQ(std::string(mg), std::string(m2));
+    EXPECT_EQ(std::string(fcs_last_error()), std::string(m2));
+
+    ASSERT_EQ(fcs_destroy(h1), FCS_SUCCESS);
+    ASSERT_EQ(fcs_destroy(h2), FCS_SUCCESS);
+  });
+}
+
 TEST(CApi, RunReportsRankFailure) {
   // Rank 1 crashes mid-run (sim fault injection); rank 0's next fcs_run
   // must surface ULFM's "process failed" as FCS_ERR_RANK_FAILED with a
@@ -190,7 +230,7 @@ TEST(CApi, RunReportsRankFailure) {
     EXPECT_EQ(c.rank(), 0);
     EXPECT_EQ(rc, FCS_ERR_RANK_FAILED);
     const char* message = nullptr;
-    ASSERT_EQ(fcs_get_last_error_message(&message), FCS_SUCCESS);
+    ASSERT_EQ(fcs_get_last_error_message(handle, &message), FCS_SUCCESS);
     ASSERT_NE(message, nullptr);
     // The message names the failed peer.
     EXPECT_NE(std::string(message).find("1"), std::string::npos) << message;

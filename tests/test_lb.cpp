@@ -437,4 +437,33 @@ TEST(LbEndToEnd, SameConfigIsByteIdentical) {
   EXPECT_EQ(a, b);
 }
 
+TEST(Balancer, SnapshotRestoreRoundTrip) {
+  // The service's warm-state unit: a restored balancer carries the evolved
+  // weight, trigger state, and decomposition plan of the one snapshotted.
+  run_ranks(2, [](mpi::Comm& c) {
+    lb::LbConfig cfg;
+    cfg.enabled = true;
+    lb::Balancer bal(cfg);
+    bal.observe(c, 100, c.rank() == 0 ? 2.0 : 1.0);  // engages the trigger
+    bal.set_splitters({7, 42, 99});
+    bal.note_rebalanced();
+
+    const std::vector<std::byte> blob = bal.snapshot();
+    lb::Balancer back(cfg);
+    back.restore(blob);
+    EXPECT_DOUBLE_EQ(back.weight(), bal.weight());
+    EXPECT_DOUBLE_EQ(back.imbalance(), bal.imbalance());
+    EXPECT_EQ(back.should_rebalance(), bal.should_rebalance());
+    ASSERT_TRUE(back.has_splitters());
+    EXPECT_EQ(back.splitters(), bal.splitters());
+    // Restore -> snapshot is the identity on the byte stream.
+    EXPECT_EQ(back.snapshot(), blob);
+
+    std::vector<std::byte> bad = blob;
+    bad.push_back(std::byte{0});
+    lb::Balancer fresh(cfg);
+    EXPECT_THROW(fresh.restore(bad), fcs::Error);
+  });
+}
+
 }  // namespace

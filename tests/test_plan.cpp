@@ -298,6 +298,58 @@ TEST(Planner, ObservationsCalibrateRhoAndModel) {
   });
 }
 
+TEST(Planner, SnapshotRestoreReplaysBitIdenticalDecisions) {
+  // The warm-start contract of the solver service (src/svc): a planner
+  // restored from a snapshot is indistinguishable from the one that took
+  // it - same decisions on the same inputs, bit for bit.
+  run_ranks(4, [](mpi::Comm& c) {
+    plan::PlanConfig cfg = plan::parse_plan_spec("auto");
+    cfg.probe_rate = 0.5;
+    const auto din_at = [](int step) {
+      plan::DecideInputs din;
+      din.n_local = 40 + 10 * (step % 4);
+      din.max_move = step % 3 == 0 ? 0.05 : 0.4;
+      din.input_in_solver_order = step % 5 != 1;
+      din.volume = 500.0 + 100.0 * step;
+      return din;
+    };
+    plan::Planner a(cfg);
+    for (int step = 0; step < 5; ++step) {
+      const plan::RedistPlan p = a.decide(c, din_at(step));
+      a.observe(c, synthetic_observation(p, 1e-3 * (1 + step % 2), 2e-4));
+    }
+
+    const std::vector<std::byte> blob = a.snapshot();
+    plan::Planner b(cfg);
+    b.restore(blob);
+    // The decision audit travels with the adaptation state.
+    EXPECT_EQ(b.decision_string(), a.decision_string());
+    EXPECT_EQ(b.decision_count(), a.decision_count());
+    EXPECT_EQ(b.probe_count(), a.probe_count());
+
+    // From here the two planners must stay in lockstep: identical plans,
+    // probes included (the probe schedule is part of the snapshot), and
+    // identical snapshots afterwards.
+    for (int step = 5; step < 12; ++step) {
+      const plan::RedistPlan pa = a.decide(c, din_at(step));
+      const plan::RedistPlan pb = b.decide(c, din_at(step));
+      EXPECT_EQ(pa, pb) << "step " << step;
+      const plan::ObserveInputs oin =
+          synthetic_observation(pa, 1e-3 / (1 + step % 3), 3e-4);
+      a.observe(c, oin);
+      b.observe(c, oin);
+    }
+    EXPECT_EQ(a.decision_string(), b.decision_string());
+    EXPECT_EQ(a.snapshot(), b.snapshot());
+
+    // Trailing garbage is a corrupt snapshot, not silently ignored.
+    std::vector<std::byte> bad = blob;
+    bad.push_back(std::byte{0});
+    plan::Planner fresh(cfg);
+    EXPECT_THROW(fresh.restore(bad), fcs::Error);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Whole-simulation behaviour (the md driver + fcs handle threading)
 

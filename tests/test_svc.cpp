@@ -1,0 +1,345 @@
+// The solver service (src/svc): workload signatures, the warm-state cache,
+// and the scheduler's gang allocation / priority / backfill / admission
+// semantics, all on the virtual-time engine.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/serialize.hpp"
+#include "svc/service.hpp"
+#include "svc/signature.hpp"
+#include "svc/warm_cache.hpp"
+#include "spmd_test_util.hpp"
+
+using fcs_test::run_ranks;
+
+namespace {
+
+svc::JobSpec make_job(std::uint64_t id, double arrival, int ranks,
+                      double priority = 0.0, int deadline = 0) {
+  svc::JobSpec j;
+  j.id = id;
+  j.arrival = arrival;
+  j.ranks = ranks;
+  j.solver = "pm";
+  j.scenario = "grid";
+  j.n_particles = 256 * static_cast<std::uint64_t>(ranks);
+  j.steps = 2;
+  j.motion = 0.5;
+  j.seed = 42 + id;
+  j.priority = priority;
+  j.deadline_class = deadline;
+  return j;
+}
+
+/// Scheduler-side config with deterministic knobs (no env dependence).
+svc::SvcConfig test_config() {
+  svc::SvcConfig cfg;
+  cfg.warm = true;
+  cfg.backfill = true;
+  cfg.aging = 0.5;
+  cfg.max_queue = 1024;
+  cfg.network = "switched";
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Job wire form and workload signatures
+
+TEST(SvcJob, SpecWireRoundTrip) {
+  svc::JobSpec j = make_job(77, 1.25, 4, 2.0, 1);
+  j.solver = "fmm";
+  j.scenario = "clustered";
+  j.steps = 9;
+  j.motion = 0.125;
+
+  fcs::ByteWriter measure;
+  j.save(measure);
+  std::vector<std::byte> buf(measure.size());
+  fcs::ByteWriter w(buf.data(), buf.size());
+  j.save(w);
+
+  fcs::ByteReader r(buf.data(), buf.size());
+  svc::JobSpec back;
+  back.load(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back.id, j.id);
+  EXPECT_DOUBLE_EQ(back.arrival, j.arrival);
+  EXPECT_EQ(back.ranks, j.ranks);
+  EXPECT_EQ(back.solver, "fmm");
+  EXPECT_EQ(back.scenario, "clustered");
+  EXPECT_EQ(back.n_particles, j.n_particles);
+  EXPECT_EQ(back.steps, 9);
+  EXPECT_DOUBLE_EQ(back.motion, 0.125);
+  EXPECT_EQ(back.seed, j.seed);
+  EXPECT_DOUBLE_EQ(back.priority, 2.0);
+  EXPECT_EQ(back.deadline_class, 1);
+}
+
+TEST(SvcSignature, KeyEncodesWorkloadDimensionsOnly) {
+  svc::JobSpec j = make_job(1, 0.0, 4);
+  j.solver = "fmm";
+  j.scenario = "clustered";
+  j.n_particles = 4 * 8192;  // per-rank 8192 -> bucket n13
+  const std::string key = svc::WorkloadSignature::of(j, "switched", 2).key();
+  EXPECT_EQ(key, "fmm/clustered/n13/r4/switched/f2");
+
+  // Seed and step count are deliberately NOT part of the key: warm state
+  // transfers between runs of the same workload regardless of length.
+  svc::JobSpec longer = j;
+  longer.seed = 999;
+  longer.steps = 50;
+  EXPECT_EQ(svc::WorkloadSignature::of(longer, "switched", 2).key(), key);
+
+  // Every signature dimension separates cache entries.
+  svc::JobSpec grid = j;
+  grid.scenario = "grid";
+  EXPECT_NE(svc::WorkloadSignature::of(grid, "switched", 2).key(), key);
+  svc::JobSpec bigger = j;
+  bigger.n_particles *= 2;
+  EXPECT_NE(svc::WorkloadSignature::of(bigger, "switched", 2).key(), key);
+  svc::JobSpec wider = j;
+  wider.ranks = 8;
+  EXPECT_NE(svc::WorkloadSignature::of(wider, "switched", 2).key(), key);
+  EXPECT_NE(svc::WorkloadSignature::of(j, "torus", 2).key(), key);
+  EXPECT_NE(svc::WorkloadSignature::of(j, "switched", 0).key(), key);
+
+  // Same power-of-two bucket -> same key (cost magnitudes, not exact n).
+  svc::JobSpec nearby = j;
+  nearby.n_particles = 4 * 12000;  // per-rank 12000 is still bucket 13
+  EXPECT_EQ(svc::WorkloadSignature::of(nearby, "switched", 2).key(), key);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-state cache serialization
+
+TEST(SvcWarmCache, RoundTripPreservesEntries) {
+  svc::WarmStateCache cache;
+  svc::WarmEntry& a = cache.upsert("pm/grid/n8/r2/switched/f2");
+  a.planner_blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  a.balancer_blob = {std::byte{9}, std::byte{8}};
+  a.pool_classes = {4096, 16384};
+  a.plan_kind = 1;
+  a.plan_send_bytes = {10, 20};
+  a.plan_recv_bytes = {30, 40};
+  a.sessions = 5;
+  svc::WarmEntry& b = cache.upsert("fmm/clustered/n13/r8/torus/f2");
+  b.planner_blob = {std::byte{7}};
+  b.sessions = 1;
+  ASSERT_EQ(cache.size(), 2u);
+
+  fcs::ByteWriter measure;
+  cache.save(measure);
+  std::vector<std::byte> buf(measure.size());
+  fcs::ByteWriter w(buf.data(), buf.size());
+  cache.save(w);
+
+  svc::WarmStateCache back;
+  fcs::ByteReader r(buf.data(), buf.size());
+  back.load(r);
+  EXPECT_TRUE(r.done());
+  ASSERT_EQ(back.size(), 2u);
+  const svc::WarmEntry* ra = back.find("pm/grid/n8/r2/switched/f2");
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(ra->planner_blob, a.planner_blob);
+  EXPECT_EQ(ra->balancer_blob, a.balancer_blob);
+  EXPECT_EQ(ra->pool_classes, a.pool_classes);
+  EXPECT_EQ(ra->plan_kind, 1);
+  EXPECT_EQ(ra->plan_send_bytes, a.plan_send_bytes);
+  EXPECT_EQ(ra->plan_recv_bytes, a.plan_recv_bytes);
+  EXPECT_EQ(ra->sessions, 5);
+  const svc::WarmEntry* rb = back.find("fmm/clustered/n13/r8/torus/f2");
+  ASSERT_NE(rb, nullptr);
+  EXPECT_EQ(rb->planner_blob, b.planner_blob);
+  EXPECT_TRUE(rb->balancer_blob.empty());
+  EXPECT_EQ(back.find("no/such/key"), nullptr);
+}
+
+TEST(SvcWarmCache, LoadRejectsTruncatedStream) {
+  svc::WarmStateCache cache;
+  cache.upsert("pm/grid/n8/r2/switched/f2").sessions = 1;
+  fcs::ByteWriter measure;
+  cache.save(measure);
+  std::vector<std::byte> buf(measure.size());
+  fcs::ByteWriter w(buf.data(), buf.size());
+  cache.save(w);
+
+  svc::WarmStateCache back;
+  fcs::ByteReader r(buf.data(), buf.size() / 2);
+  EXPECT_THROW(back.load(r), fcs::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Service runs (SPMD)
+
+TEST(SvcService, RunsEveryAdmittedJobAndReportsInOrder) {
+  svc::ServiceReport report;
+  run_ranks(4, [&report](mpi::Comm& c) {
+    std::vector<svc::JobSpec> trace;
+    trace.push_back(make_job(3, 0.0, 2));
+    trace.push_back(make_job(1, 0.001, 1));
+    trace.push_back(make_job(2, 0.002, 3));
+    trace.push_back(make_job(5, 0.003, 1));
+    trace.push_back(make_job(4, 0.004, 2));
+    svc::WarmStateCache cache;
+    const svc::ServiceReport rep =
+        svc::Service::run(c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{},
+                          test_config(), &cache);
+    if (c.rank() == 0) {
+      report = rep;
+    } else {
+      // Workers return an empty report; only the scheduler aggregates.
+      EXPECT_TRUE(rep.jobs.empty());
+    }
+  });
+  ASSERT_EQ(report.jobs.size(), 5u);
+  EXPECT_EQ(report.admitted, 5u);
+  EXPECT_EQ(report.rejected, 0u);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const svc::JobResult& jr = report.jobs[i];
+    EXPECT_EQ(jr.id, i + 1);  // sorted by id
+    EXPECT_GE(jr.start, jr.arrival);
+    EXPECT_GT(jr.end, jr.start);
+    EXPECT_GT(jr.latency(), 0.0);
+  }
+  EXPECT_GT(report.makespan, 0.0);
+}
+
+TEST(SvcService, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    svc::ServiceReport report;
+    run_ranks(4, [&report](mpi::Comm& c) {
+      std::vector<svc::JobSpec> trace;
+      for (int i = 0; i < 6; ++i)
+        trace.push_back(make_job(static_cast<std::uint64_t>(i + 1),
+                                 0.0005 * i, 1 + i % 3, i % 2, i % 4 == 0));
+      svc::WarmStateCache cache;
+      const svc::ServiceReport rep = svc::Service::run(
+          c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{},
+          test_config(), &cache);
+      if (c.rank() == 0) report = rep;
+    });
+    return report;
+  };
+  const svc::ServiceReport a = run_once();
+  const svc::ServiceReport b = run_once();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(a.makespan, b.makespan);  // bitwise: virtual time is exact
+  EXPECT_EQ(a.warm_hits, b.warm_hits);
+  EXPECT_EQ(a.backfills, b.backfills);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+    EXPECT_EQ(a.jobs[i].start, b.jobs[i].start);
+    EXPECT_EQ(a.jobs[i].end, b.jobs[i].end);
+    EXPECT_EQ(a.jobs[i].warm, b.jobs[i].warm);
+  }
+}
+
+TEST(SvcService, SecondRunStartsWarmFromSurvivingCache) {
+  std::vector<svc::ServiceReport> reports;
+  run_ranks(3, [&reports](mpi::Comm& c) {
+    const std::vector<svc::JobSpec> trace = {make_job(1, 0.0, 2)};
+    const std::vector<svc::JobSpec> mine =
+        c.rank() == 0 ? trace : std::vector<svc::JobSpec>{};
+    svc::SvcConfig cfg = test_config();
+    svc::WarmStateCache cache;
+    // The cache outlives Service::run, so the second incarnation of the
+    // service finds the first one's planner/balancer snapshots.
+    const svc::ServiceReport cold = svc::Service::run(c, mine, cfg, &cache);
+    const svc::ServiceReport warm = svc::Service::run(c, mine, cfg, &cache);
+    // cfg.warm = false must ignore the populated cache entirely.
+    cfg.warm = false;
+    const svc::ServiceReport off = svc::Service::run(c, mine, cfg, &cache);
+    if (c.rank() == 0) reports = {cold, warm, off};
+  });
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].warm_hits, 0u);  // first sight of the signature
+  EXPECT_EQ(reports[1].warm_hits, 1u);
+  ASSERT_EQ(reports[1].jobs.size(), 1u);
+  EXPECT_TRUE(reports[1].jobs[0].warm);
+  EXPECT_EQ(reports[2].warm_hits, 0u);
+}
+
+TEST(SvcService, NullCacheDisablesWarmState) {
+  svc::ServiceReport report;
+  run_ranks(3, [&report](mpi::Comm& c) {
+    std::vector<svc::JobSpec> trace = {make_job(1, 0.0, 2),
+                                       make_job(2, 0.0001, 2)};
+    const svc::ServiceReport rep = svc::Service::run(
+        c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{}, test_config(),
+        nullptr);
+    if (c.rank() == 0) report = rep;
+  });
+  EXPECT_EQ(report.warm_hits, 0u);
+  ASSERT_EQ(report.jobs.size(), 2u);
+}
+
+TEST(SvcService, InteractiveBoostOvertakesEarlierBatchJob) {
+  svc::ServiceReport report;
+  run_ranks(3, [&report](mpi::Comm& c) {
+    std::vector<svc::JobSpec> trace;
+    trace.push_back(make_job(1, 0.0, 2));             // occupies the pool
+    trace.push_back(make_job(2, 0.0001, 2, 0.0, 0));  // batch, arrives first
+    trace.push_back(make_job(3, 0.0002, 2, 0.0, 1));  // interactive
+    svc::WarmStateCache cache;
+    const svc::ServiceReport rep = svc::Service::run(
+        c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{}, test_config(),
+        &cache);
+    if (c.rank() == 0) report = rep;
+  });
+  ASSERT_EQ(report.jobs.size(), 3u);
+  // Both queue behind job 1; the interactive boost dispatches job 3 first
+  // (the batch job's tiny aging head start cannot compete).
+  EXPECT_LT(report.jobs[2].start, report.jobs[1].start);
+}
+
+TEST(SvcService, BackfillFillsFreeRanksPastBlockedHead) {
+  auto run_once = [](bool backfill) {
+    svc::ServiceReport report;
+    run_ranks(4, [&report, backfill](mpi::Comm& c) {
+      std::vector<svc::JobSpec> trace;
+      trace.push_back(make_job(1, 0.0, 2));            // leaves 1 rank free
+      trace.push_back(make_job(2, 0.0001, 3, 10.0));   // blocked head of line
+      trace.push_back(make_job(3, 0.0002, 1, 0.0));    // fits the free rank
+      svc::SvcConfig cfg = test_config();
+      cfg.backfill = backfill;
+      svc::WarmStateCache cache;
+      const svc::ServiceReport rep = svc::Service::run(
+          c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{}, cfg, &cache);
+      if (c.rank() == 0) report = rep;
+    });
+    return report;
+  };
+  const svc::ServiceReport with = run_once(true);
+  ASSERT_EQ(with.jobs.size(), 3u);
+  EXPECT_GE(with.backfills, 1u);
+  EXPECT_LT(with.jobs[2].start, with.jobs[1].start);  // 3 overtook blocked 2
+
+  const svc::ServiceReport without = run_once(false);
+  ASSERT_EQ(without.jobs.size(), 3u);
+  EXPECT_EQ(without.backfills, 0u);
+  EXPECT_LT(without.jobs[1].start, without.jobs[2].start);  // strict priority
+}
+
+TEST(SvcService, AdmissionRejectsOversizedJobsAndQueueOverflow) {
+  svc::ServiceReport report;
+  run_ranks(3, [&report](mpi::Comm& c) {
+    std::vector<svc::JobSpec> trace;
+    trace.push_back(make_job(1, 0.0, 5));  // larger than the 2-rank pool
+    for (int i = 0; i < 5; ++i)
+      trace.push_back(make_job(static_cast<std::uint64_t>(i + 2), 0.0, 1));
+    svc::SvcConfig cfg = test_config();
+    cfg.max_queue = 2;
+    svc::WarmStateCache cache;
+    const svc::ServiceReport rep = svc::Service::run(
+        c, c.rank() == 0 ? trace : std::vector<svc::JobSpec>{}, cfg, &cache);
+    if (c.rank() == 0) report = rep;
+  });
+  EXPECT_EQ(report.admitted + report.rejected, 6u);
+  EXPECT_GE(report.rejected, 1u);  // at least the oversized job
+  EXPECT_EQ(report.jobs.size(), static_cast<std::size_t>(report.admitted));
+}
+
+}  // namespace
