@@ -33,7 +33,7 @@ int main() {
   const sim::FaultPlan faults = sim::FaultPlan::from_env();
   const double rogue = bench::env_double("FCS_FAULT_ROGUE", 0.0);
   const bool faulty = faults.active() || rogue > 0.0;
-  const int variants = faulty ? 4 : 3;
+  const int variants = faulty ? 5 : 4;
 
   std::printf("Fig. 7: time steps with random initial distribution, %d "
               "ranks, %zu particles (virtual seconds)\n",
@@ -46,11 +46,12 @@ int main() {
                 rogue);
 
   std::vector<bench::Series> json_series;
-  static const char* kVariantNames[] = {"A", "B", "Bm", "Bmf"};
+  static const char* kVariantNames[] = {"A", "B", "Bm", "Bo", "Bmf"};
   for (const char* solver : {"fmm", "pm"}) {
     std::vector<std::string> columns = {"step",    "A_sort", "A_restore",
                                         "A_total", "B_sort", "B_resort",
-                                        "B_total", "Bm_sort", "Bm_total"};
+                                        "B_total", "Bm_sort", "Bm_total",
+                                        "Bo_total"};
     if (faulty) {
       columns.push_back("Bmf_sort");
       columns.push_back("Bmf_total");
@@ -65,15 +66,21 @@ int main() {
       cfg.steps = steps;
       cfg.resort = variant >= 1;
       // The paper's Fig. 7 series use no movement information; the extra Bm
-      // series exploits it (and Bmf stresses it under faults).
-      cfg.exploit_max_movement = variant >= 2;
+      // series exploits it (and Bmf stresses it under faults). Bo repeats
+      // the plain B configuration through the task-graph overlapped
+      // fcs_run (FCS_TASK): identical work, exchange hidden under compute.
+      cfg.exploit_max_movement = variant == 2 || variant == 4;
       cfg.modeled_compute = true;
       cfg.surrogate_motion = true;
       cfg.surrogate_step = 0.1;  // slight movement, like early time steps
-      if (variant == 3) cfg.rogue_rate = rogue;
+      if (variant == 4) cfg.rogue_rate = rogue;
+      const bool overlapped = variant == 3;
+      if (overlapped) fcs::set_task_mode(1);
       bench::SimOutcome out = bench::run_configuration(
-          nranks, bench::juropa_like(), sys, solver, cfg, 256, {},
-          variant == 3 ? &faults : nullptr);
+          nranks, bench::juropa_like(), sys, solver, cfg, 256,
+          overlapped ? std::string(solver) + "-B-task" : std::string{},
+          variant == 4 ? &faults : nullptr);
+      if (overlapped) fcs::set_task_mode(-1);
       res[static_cast<std::size_t>(variant)] = std::move(out.result);
       const auto& r = res[static_cast<std::size_t>(variant)];
       bench::Series s;
@@ -81,9 +88,9 @@ int main() {
       s.total_time = out.makespan;
       for (const auto& t : r.step_times) s.per_step.push_back(t.total);
       s.imbalance = r.compute_imbalance;
-      s.method = variant == 0 ? "A" : variant == 1 ? "B" : "B+mm";
-      s.sort = variant >= 2 ? "auto" : "partition";
-      s.exchange = variant >= 2 ? "auto" : "alltoall";
+      s.method = variant == 0 ? "A" : variant == 1 || variant == 3 ? "B" : "B+mm";
+      s.sort = variant == 2 || variant == 4 ? "auto" : "partition";
+      s.exchange = variant == 2 || variant == 4 ? "auto" : "alltoall";
       s.network = "switched";
       json_series.push_back(std::move(s));
     }
@@ -91,6 +98,7 @@ int main() {
       const auto& a = res[0].step_times.at(static_cast<std::size_t>(s));
       const auto& b = res[1].step_times.at(static_cast<std::size_t>(s));
       const auto& bm = res[2].step_times.at(static_cast<std::size_t>(s));
+      const auto& bo = res[3].step_times.at(static_cast<std::size_t>(s));
       auto& row = table.begin_row()
           .col(s == 0 ? std::string("init") : std::to_string(s))
           .col(a.sort, 4)
@@ -100,9 +108,10 @@ int main() {
           .col(b.resort, 4)
           .col(b.total, 4)
           .col(bm.sort, 4)
-          .col(bm.total, 4);
+          .col(bm.total, 4)
+          .col(bo.total, 4);
       if (faulty) {
-        const auto& bmf = res[3].step_times.at(static_cast<std::size_t>(s));
+        const auto& bmf = res[4].step_times.at(static_cast<std::size_t>(s));
         row.col(bmf.sort, 4).col(bmf.total, 4);
       }
     }

@@ -1,11 +1,54 @@
 #include "fcs/fcs.hpp"
 
+#include <cstdlib>
+#include <optional>
+
 #include "redist/conserve.hpp"
+#include "redist/exchange_plan.hpp"
 #include "redist/resort.hpp"
+#include "task/task_graph.hpp"
 
 namespace fcs {
 
 using domain::Vec3;
+
+namespace {
+
+int g_task_override = -1;
+std::size_t g_slab_override = 0;
+
+bool env_task() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FCS_TASK");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+std::size_t env_task_slabs() {
+  static const std::size_t slabs = [] {
+    const char* v = std::getenv("FCS_TASK_SLABS");
+    if (v == nullptr || v[0] == '\0') return std::size_t{4};
+    const long n = std::strtol(v, nullptr, 10);
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{1};
+  }();
+  return slabs;
+}
+
+}  // namespace
+
+bool task_enabled() {
+  if (g_task_override >= 0) return g_task_override != 0;
+  return env_task();
+}
+
+void set_task_mode(int enabled) { g_task_override = enabled; }
+
+std::size_t task_slabs() {
+  return g_slab_override > 0 ? g_slab_override : env_task_slabs();
+}
+
+void set_task_slabs(std::size_t slabs) { g_slab_override = slabs; }
 
 namespace {
 
@@ -126,7 +169,117 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       balancer_ != nullptr && balancer_->active() ? balancer_.get() : nullptr;
   sopts.plan = planned ? &rplan : nullptr;
 
-  SolveResult solved = solver_->solve(comm_, positions, charges, sopts);
+  // Queue a staged field into a fused batch (shared by the overlapped and
+  // the phased staged-field paths below).
+  const auto add_field = [](redist::FusedBatch& b, const ResortBatch::Field& f) {
+    switch (f.kind) {
+      case ResortBatch::Kind::kFloats: {
+        auto* v = static_cast<std::vector<double>*>(f.vec);
+        b.add(*v, f.components, *v);
+        break;
+      }
+      case ResortBatch::Kind::kInts: {
+        auto* v = static_cast<std::vector<std::int64_t>*>(f.vec);
+        b.add(*v, f.components, *v);
+        break;
+      }
+      case ResortBatch::Kind::kVec3: {
+        auto* v = static_cast<std::vector<domain::Vec3>*>(f.vec);
+        b.add(*v, f.components, *v);
+        break;
+      }
+    }
+  };
+
+  // --- Solve: phased, or overlapped through the task graph ------------------
+  const bool use_task =
+      task_enabled() && want_resort && solver_->supports_staged_solve();
+  SolveResult solved;
+  PhaseTimes task_times;       // resort-machinery time of the overlapped path
+  bool task_resorted = false;  // the graph already ran the resort machinery
+  bool staged_done = false;    // staged fields already exchanged by the graph
+
+  if (use_task) {
+    auto stage = std::make_shared<SolveStage>(
+        solver_->begin_solve(comm_, positions, charges, sopts));
+    bool fits_cap = true;
+    if (options.max_local > 0) {
+      const int fits =
+          stage->partial.origin.size() <= options.max_local ? 1 : 0;
+      fits_cap = comm_.allreduce(fits, mpi::OpMin{}) == 1;
+    }
+    if (!fits_cap) {
+      // Capacity fallback: finish sequentially; the common path below
+      // re-checks the capacity and takes the restore branch.
+      solved = solver_->finish_solve(comm_, std::move(*stage), sopts);
+    } else {
+      obs::count(ctx.obs(), "fcs.task.runs", 1.0);
+      // Resort prologue, sequential: the origin inversion communicates and
+      // the slab layout needs the plan. Identical to the phased machinery.
+      std::optional<redist::FusedBatch> batch;
+      std::size_t nslabs = 0;
+      {
+        PhaseScope phase(ctx, task_times, &PhaseTimes::resort, "fcs.resort",
+                         /*add_to_total=*/true);
+        resort_indices_ = redist::invert_origin_indices(
+            comm_, stage->partial.origin, n_original,
+            stage->partial.resort_kind);
+        resort_n_original_ = n_original;
+        resort_n_changed_ = stage->partial.origin.size();
+        resort_kind_ = stage->partial.resort_kind;
+        if (redist::fuse_enabled())
+          resort_plan_ = redist::ResortPlan::build(comm_, resort_indices_,
+                                                   stage->partial.origin,
+                                                   stage->partial.resort_kind);
+        else
+          resort_plan_.reset();
+        if (resort_plan_.valid() && !staged_fields_.empty()) {
+          batch.emplace(comm_, resort_plan_.plan(), resort_plan_.placement());
+          for (const ResortBatch::Field& f : staged_fields_)
+            add_field(*batch, f);
+          nslabs = batch->async_begin(task_slabs());
+          resort_field_count_ += staged_fields_.size();
+          staged_done = true;
+        }
+      }
+      // The overlapped graph: per-slab pack -> async exchange, the force
+      // computation running while the slabs are in flight, one unpack once
+      // every slab has landed. Comm nodes start in ascending id order (the
+      // task executor contract), so all ranks create the slab collectives in
+      // the same sequence.
+      task::Graph g;
+      std::vector<task::NodeId> xchg;
+      for (std::size_t k = 0; k < nslabs; ++k) {
+        const task::NodeId pk = g.add_compute(
+            "pack" + std::to_string(k), [&batch, k] { batch->async_pack(k); });
+        xchg.push_back(g.add_comm(
+            "xchg" + std::to_string(k),
+            [&batch, k] { return batch->async_start(k); }, nullptr, {pk}));
+      }
+      double force_dur = 0.0;
+      g.add_compute("force", [&] {
+        const double f0 = ctx.now();
+        solved = solver_->finish_solve(comm_, std::move(*stage), sopts);
+        force_dur = ctx.now() - f0;
+      });
+      if (nslabs > 0)
+        g.add_compute("unpack", [&batch] { batch->async_finish(); }, xchg);
+      const double g0 = ctx.now();
+      task::Executor ex;
+      const task::Executor::Stats ts = ex.run(g, ctx);
+      // Everything in the graph window that was not the force computation is
+      // resort machinery: packs, residual arrival waits, the unpack.
+      const double resort_part = (ctx.now() - g0) - force_dur;
+      task_times.resort += resort_part;
+      task_times.total += resort_part;
+      obs::count(ctx.obs(), "fcs.resort", resort_part);
+      if (obs::RankObs* const o = ctx.obs(); o != nullptr && ts.comm_s > 0.0)
+        o->observe("fcs.task.overlap_ratio", ts.overlap_s / ts.comm_s);
+      task_resorted = true;
+    }
+  } else {
+    solved = solver_->solve(comm_, positions, charges, sopts);
+  }
 
   // Load-balancing cost model: feed the balancer this epoch's measured
   // compute time and particle count of the solver decomposition (the bytes
@@ -138,6 +291,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
 
   RunResult result;
   result.times = solved.times;
+  result.times += task_times;  // zero when the phased path ran
 
   // Model calibration (auto mode only): after the run completes, feed the
   // planner the observed phase costs of the decision it made. Collective
@@ -154,7 +308,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   };
 
   bool do_resort = want_resort;
-  if (do_resort && options.max_local > 0) {
+  if (!task_resorted && do_resort && options.max_local > 0) {
     // Paper: the changed distribution can only be returned if every rank's
     // local arrays are large enough.
     const int fits =
@@ -166,7 +320,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
 
   if (do_resort) {
     // --- Method B: hand back the solver order, create resort indices ------
-    {
+    if (!task_resorted) {
       PhaseScope phase(ctx, result.times, &PhaseTimes::resort, "fcs.resort",
                        /*add_to_total=*/true);
       resort_indices_ = redist::invert_origin_indices(
@@ -187,6 +341,48 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       potentials = std::move(solved.potentials);
       field = std::move(solved.field);
       last_resorted_ = true;
+    } else {
+      // The overlapped graph already ran the machinery; just hand the
+      // solver-ordered arrays back.
+      positions = std::move(solved.positions);
+      charges = std::move(solved.charges);
+      potentials = std::move(solved.potentials);
+      field = std::move(solved.field);
+      last_resorted_ = true;
+    }
+    // Staged fields travel with the run (the overlapped graph may have
+    // exchanged them already; otherwise they go through the same machinery
+    // a resort_batch() call would use).
+    if (!staged_fields_.empty()) {
+      if (!staged_done) {
+        PhaseScope phase(ctx, result.times, &PhaseTimes::resort, "fcs.resort",
+                         /*add_to_total=*/true);
+        if (resort_plan_.valid()) {
+          redist::FusedBatch batch(comm_, resort_plan_.plan(),
+                                   resort_plan_.placement());
+          for (const ResortBatch::Field& f : staged_fields_)
+            add_field(batch, f);
+          batch.execute();
+          resort_field_count_ += staged_fields_.size();
+        } else {
+          for (const ResortBatch::Field& f : staged_fields_) {
+            switch (f.kind) {
+              case ResortBatch::Kind::kFloats:
+                resort_floats(*static_cast<std::vector<double>*>(f.vec),
+                              f.components);
+                break;
+              case ResortBatch::Kind::kInts:
+                resort_ints(*static_cast<std::vector<std::int64_t>*>(f.vec),
+                            f.components);
+                break;
+              case ResortBatch::Kind::kVec3:
+                resort_vec3(*static_cast<std::vector<domain::Vec3>*>(f.vec));
+                break;
+            }
+          }
+        }
+      }
+      staged_fields_.clear();
     }
     if (validate) validate_run(comm_, n_original, charge_sum_in, charges);
     feed_planner(/*resorted=*/true);
@@ -194,6 +390,9 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
     result.n_local = positions.size();
     return result;
   }
+  // A run that restores leaves staged fields untouched (the caller checks
+  // last_run_resorted(), exactly as with resort_*); the queue still clears.
+  staged_fields_.clear();
 
   // --- Method A (or capacity fallback): restore original order/distribution
   {
@@ -263,6 +462,25 @@ void Fcs::resort_vec3(std::vector<domain::Vec3>& values) const {
                ? resort_plan_.resort(comm_, values, 1)
                : redist::resort_values(comm_, resort_indices_, values, 1,
                                        resort_n_changed_, resort_kind_);
+}
+
+Fcs& Fcs::stage_floats(std::vector<double>& values, std::size_t components) {
+  staged_fields_.push_back(
+      ResortBatch::Field{ResortBatch::Kind::kFloats, &values, components});
+  return *this;
+}
+
+Fcs& Fcs::stage_ints(std::vector<std::int64_t>& values,
+                     std::size_t components) {
+  staged_fields_.push_back(
+      ResortBatch::Field{ResortBatch::Kind::kInts, &values, components});
+  return *this;
+}
+
+Fcs& Fcs::stage_vec3(std::vector<domain::Vec3>& values) {
+  staged_fields_.push_back(
+      ResortBatch::Field{ResortBatch::Kind::kVec3, &values, 1});
+  return *this;
 }
 
 ResortBatch Fcs::resort_batch() {

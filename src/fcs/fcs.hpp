@@ -68,6 +68,22 @@ class ResortBatch {
 /// Create a solver by name: "fmm", "pm" (alias "p2nfft"), or "direct".
 std::unique_ptr<Solver> create_solver(const std::string& method);
 
+/// Is the task-graph overlapped fcs_run enabled? Reads FCS_TASK once
+/// (default OFF; set to 1 to overlap method-B redistribution with the force
+/// computation through the progress engine) unless overridden by
+/// set_task_mode(). Must be consistent across ranks. Results are
+/// bit-identical to the phased path; only the virtual-time schedule differs.
+bool task_enabled();
+
+/// Override the env knob: 1 = on, 0 = off, -1 = back to the environment.
+void set_task_mode(int enabled);
+
+/// Number of slabs the overlapped run splits the staged-field exchange into
+/// (FCS_TASK_SLABS, default 4, minimum 1) unless overridden by
+/// set_task_slabs(0 = back to the environment).
+std::size_t task_slabs();
+void set_task_slabs(std::size_t slabs);
+
 struct RunOptions {
   bool resort = false;             // method B
   double max_particle_move = -1.0;  // hint for the solver heuristics
@@ -145,6 +161,21 @@ class Fcs {
   /// last_run_resorted().
   ResortBatch resort_batch();
 
+  /// Queue per-particle data to travel WITH the next run instead of a
+  /// separate resort_* call afterwards: if that run resorts (method B), the
+  /// staged fields are exchanged through the run's own resort machinery -
+  /// overlapped with the force computation when the task mode (FCS_TASK=1)
+  /// is on - and `values` is replaced (resized to the changed count). If the
+  /// run restores instead, the staged fields are left untouched. The queue
+  /// is cleared by the run either way. All ranks must stage the same
+  /// sequence of fields (collective symmetry), and the referenced vectors
+  /// must stay alive until run() returns.
+  Fcs& stage_floats(std::vector<double>& values, std::size_t components);
+  Fcs& stage_ints(std::vector<std::int64_t>& values, std::size_t components);
+  Fcs& stage_vec3(std::vector<domain::Vec3>& values);
+  /// Fields currently queued for the next run.
+  std::size_t staged_field_count() const { return staged_fields_.size(); }
+
   /// The reusable exchange schedule of the last method-B run (invalid when
   /// fusion is off or the last run restored). Exposed for tests and
   /// benchmarks.
@@ -167,6 +198,8 @@ class Fcs {
   // resort methods are const; the count only feeds the planner's cost
   // model, where fused extra fields are marginal-cost).
   mutable std::size_t resort_field_count_ = 0;
+  // Fields queued by stage_* for the next run (see stage_floats).
+  std::vector<ResortBatch::Field> staged_fields_;
 };
 
 }  // namespace fcs

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -174,6 +175,20 @@ struct SolveResult {
   PhaseTimes times;
 };
 
+/// Partial state of a staged solve, produced by Solver::begin_solve after the
+/// sort phase and consumed by Solver::finish_solve for the compute phase. The
+/// fcs layer uses the window between the two calls to overlap method-B resort
+/// machinery (origin inversion, plan build, staged field exchanges) with the
+/// force computation via the task-graph executor (src/task).
+///
+/// `partial` carries everything that is known after the sort phase: origin,
+/// resort_kind, sort_used/exchange_used and times.sort. positions/charges/
+/// potentials/field are filled by finish_solve. `state` is solver-private.
+struct SolveStage {
+  SolveResult partial;
+  std::shared_ptr<void> state;
+};
+
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -194,6 +209,37 @@ class Solver {
                             const std::vector<domain::Vec3>& positions,
                             const std::vector<double>& charges,
                             const SolveOptions& options) = 0;
+
+  /// True when begin_solve/finish_solve are implemented. The pair is
+  /// equivalent to solve(): begin runs the sort phase (collective), finish
+  /// runs the compute phase (collective) - results are bit-identical to the
+  /// single call; only the virtual-time attribution of work interleaved
+  /// between the two calls differs.
+  virtual bool supports_staged_solve() const { return false; }
+
+  /// First half of a staged solve: reorder/redistribute the particles into
+  /// the solver's decomposition and return the partial result (origin,
+  /// resort_kind, times.sort) plus the private compute inputs. Collective.
+  virtual SolveStage begin_solve(const mpi::Comm& comm,
+                                 const std::vector<domain::Vec3>& positions,
+                                 const std::vector<double>& charges,
+                                 const SolveOptions& options) {
+    (void)comm;
+    (void)positions;
+    (void)charges;
+    (void)options;
+    FCS_CHECK(false, name() << " does not support staged solves");
+  }
+
+  /// Second half: force computation on the stage produced by begin_solve,
+  /// completing potentials/field/positions/charges/times. Collective.
+  virtual SolveResult finish_solve(const mpi::Comm& comm, SolveStage&& stage,
+                                   const SolveOptions& options) {
+    (void)comm;
+    (void)stage;
+    (void)options;
+    FCS_CHECK(false, name() << " does not support staged solves");
+  }
 };
 
 }  // namespace fcs

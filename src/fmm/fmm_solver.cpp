@@ -60,6 +60,14 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
                                   const std::vector<domain::Vec3>& positions,
                                   const std::vector<double>& charges,
                                   const fcs::SolveOptions& options) {
+  return finish_solve(comm, begin_solve(comm, positions, charges, options),
+                      options);
+}
+
+fcs::SolveStage FmmSolver::begin_solve(const mpi::Comm& comm,
+                                       const std::vector<domain::Vec3>& positions,
+                                       const std::vector<double>& charges,
+                                       const fcs::SolveOptions& options) {
   FCS_CHECK(tuned_, "fmm solver: call tune() before solve()");
   FCS_CHECK(positions.size() == charges.size(), "positions/charges mismatch");
   if (!options.modeled_compute)
@@ -67,13 +75,16 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
               "the fmm solver computes open-boundary interactions; periodic "
               "boxes are only supported with modeled compute (see DESIGN.md)");
   sim::RankCtx& ctx = comm.ctx();
-  fcs::SolveResult result;
+  fcs::SolveStage stage;
+  auto st = std::make_shared<StageState>();
+  fcs::SolveResult& result = stage.partial;
   const double t0 = ctx.now();
 
   // --- Sort phase: place particles into Z-Morton boxes ----------------------
   fcs::PhaseScope sort_phase(ctx, result.times, &fcs::PhaseTimes::sort,
                              "fmm.sort");
-  std::vector<FmmParticle> items(positions.size());
+  std::vector<FmmParticle>& items = st->items;
+  items.resize(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i)
     items[i] = FmmParticle{positions[i], charges[i],
                            domain::morton_key(box_, level_, positions[i]),
@@ -179,6 +190,29 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
         use_merge ? plan::SortAlgo::kMerge : plan::SortAlgo::kPartition;
   sort_phase.stop();
 
+  // Everything the fcs layer needs BEFORE the compute phase: the origin
+  // indices (resort machinery) and the communication regime.
+  st->sparse_regime = sparse_regime;
+  result.origin.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    result.origin[i] = items[i].origin;
+  result.resort_kind = sparse_regime ? redist::ExchangeKind::kSparse
+                                     : redist::ExchangeKind::kDense;
+  result.times.total += ctx.now() - t0;
+  stage.state = std::move(st);
+  return stage;
+}
+
+fcs::SolveResult FmmSolver::finish_solve(const mpi::Comm& comm,
+                                         fcs::SolveStage&& stage,
+                                         const fcs::SolveOptions& options) {
+  auto st = std::static_pointer_cast<StageState>(stage.state);
+  FCS_CHECK(st != nullptr, "finish_solve: stage missing fmm state");
+  sim::RankCtx& ctx = comm.ctx();
+  fcs::SolveResult result = std::move(stage.partial);
+  std::vector<FmmParticle>& items = st->items;
+  const double t0 = ctx.now();
+
   // --- Compute phase ---------------------------------------------------------
   fcs::PhaseScope compute_phase(ctx, result.times, &fcs::PhaseTimes::compute,
                                 "fmm.compute");
@@ -216,17 +250,13 @@ fcs::SolveResult FmmSolver::solve(const mpi::Comm& comm,
   const std::size_t n = items.size();
   result.positions.resize(n);
   result.charges.resize(n);
-  result.origin.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.positions[i] = items[i].pos;
     result.charges[i] = items[i].charge;
-    result.origin[i] = items[i].origin;
   }
   result.potentials = std::move(potentials);
   result.field = std::move(field);
-  result.resort_kind = sparse_regime ? redist::ExchangeKind::kSparse
-                                     : redist::ExchangeKind::kDense;
-  result.times.total = ctx.now() - t0;
+  result.times.total += ctx.now() - t0;
   return result;
 }
 

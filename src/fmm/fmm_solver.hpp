@@ -52,6 +52,14 @@ class FmmSolver final : public fcs::Solver {
                          const std::vector<double>& charges,
                          const fcs::SolveOptions& options) override;
 
+  bool supports_staged_solve() const override { return true; }
+  fcs::SolveStage begin_solve(const mpi::Comm& comm,
+                              const std::vector<domain::Vec3>& positions,
+                              const std::vector<double>& charges,
+                              const fcs::SolveOptions& options) override;
+  fcs::SolveResult finish_solve(const mpi::Comm& comm, fcs::SolveStage&& stage,
+                                const fcs::SolveOptions& options) override;
+
   int level() const { return level_; }
   int order() const { return order_; }
   /// True if the last solve used the merge-based sort.
@@ -68,6 +76,12 @@ class FmmSolver final : public fcs::Solver {
     domain::Vec3 pos;
     double charge;
     std::uint64_t key;
+  };
+  /// Private payload of a staged solve: the sorted particles (compute input)
+  /// plus the communication regime the sort phase settled on.
+  struct StageState {
+    std::vector<FmmParticle> items;
+    bool sparse_regime = false;
   };
 
   void compute_fields(const mpi::Comm& comm,

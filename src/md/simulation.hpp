@@ -69,6 +69,14 @@ struct SimulationConfig {
   /// particle. Teleports are counted as "md.rogue".
   double rogue_rate = 0.0;
   std::uint64_t rogue_seed = 99;
+  /// Benchmarks: extra per-particle Vec3 payload arrays that travel with
+  /// every method-B resort (staged through the fcs handle, fused into the
+  /// same exchange as the integrator fields). Models production MD codes
+  /// whose particles carry more state than velocity + acceleration (old
+  /// forces, virials, per-particle history); bench_overlap uses it to set
+  /// the redistribution share of a step. Not covered by checkpointing -
+  /// leave at 0 when combining with rank-crash fault plans.
+  std::size_t extra_vec3_fields = 0;
 };
 
 /// Phase times of one fcs_run, reduced with max over ranks.

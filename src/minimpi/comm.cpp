@@ -136,17 +136,11 @@ std::vector<std::byte> Comm::recv_bytes_vec(int src, int tag,
 
 Status Comm::wait(Request& rq) {
   FCS_CHECK(rq.valid(), "wait on an inactive request");
-  Status st = rq.status;
-  if (rq.kind_ == Request::Kind::kRecv) {
-    st = rq.comm_->recv_bytes(rq.buffer, rq.capacity_bytes, rq.peer, rq.tag);
-  }
-  rq.kind_ = Request::Kind::kNone;
-  return st;
+  return rq.wait();
 }
 
 void Comm::waitall(Request* requests, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i)
-    if (requests[i].valid()) wait(requests[i]);
+  Request::wait_all(requests, n);
 }
 
 Comm Comm::split(int color, int key) const {

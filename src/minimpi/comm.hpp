@@ -77,23 +77,48 @@ class Comm;
 /// Result of Comm::shrink_recover (defined after Comm).
 struct ShrinkResult;
 
-/// Non-blocking operation handle. Sends complete eagerly; receives are
-/// matched lazily at wait() time (legal because sends never block).
+namespace detail {
+struct AsyncState;
+}
+
+/// Non-blocking operation handle backed by the progress engine (async.cpp).
+/// Sends complete when the simulated NIC finishes injecting the payload
+/// (sim::RankCtx::send_async), receives and collectives complete as their
+/// messages physically arrive, and test() polls without blocking - which is
+/// what lets a task graph overlap communication with compute in virtual
+/// time. Handles are cheap shared references; copying is allowed and all
+/// copies observe the same completion.
 class Request {
  public:
   Request() = default;
-  bool valid() const { return kind_ != Kind::kNone; }
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking progress. Returns true when the operation has completed;
+  /// the handle is then invalidated and `status` (when non-null) holds the
+  /// result. Returns false - without advancing this rank's clock past the
+  /// local processing cost of whatever did arrive - when completion still
+  /// depends on in-flight messages.
+  bool test(Status* status = nullptr);
+
+  /// Block until completion, advancing this rank's virtual clock to the
+  /// completion time, and invalidate the handle.
+  Status wait();
+
+  /// Release the operation without completing it (cancel-on-revoke: a
+  /// survivor drops requests of a revoked communicator so wait_all never
+  /// hangs on a peer that died; messages already in flight stay in the
+  /// mailbox for the recovery path's purge).
+  void cancel();
+
+  /// Wait on requests[0..n) in index order (deterministic clock advance);
+  /// invalid handles are skipped.
+  static void wait_all(Request* requests, std::size_t n);
 
  private:
   friend class Comm;
-  enum class Kind { kNone, kSend, kRecv };
-  Kind kind_ = Kind::kNone;
-  const Comm* comm_ = nullptr;
-  void* buffer = nullptr;
-  std::size_t capacity_bytes = 0;
-  int peer = 0;
-  int tag = 0;
-  Status status{};
+  explicit Request(std::shared_ptr<detail::AsyncState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::AsyncState> state_;
 };
 
 class Comm {
@@ -155,28 +180,27 @@ class Comm {
     if (status != nullptr) *status = st;
   }
 
+  /// Non-blocking send: the payload is captured immediately (the caller's
+  /// buffer may be reused right away) and the request completes when the
+  /// NIC finishes injecting it.
   template <class T>
   Request isend(const T* data, std::size_t n, int dst, int tag) const {
-    send(data, n, dst, tag);  // eager: completes immediately
-    Request rq;
-    rq.kind_ = Request::Kind::kSend;
-    rq.comm_ = this;
-    return rq;
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend_bytes(data, n * sizeof(T), dst, tag);
   }
 
   template <class T>
   Request irecv(T* data, std::size_t max_n, int src, int tag) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    Request rq;
-    rq.kind_ = Request::Kind::kRecv;
-    rq.comm_ = this;
-    rq.buffer = data;
-    rq.capacity_bytes = max_n * sizeof(T);
-    rq.peer = src;
-    rq.tag = tag;
-    return rq;
+    return irecv_bytes(data, max_n * sizeof(T), src, tag);
   }
 
+  Request isend_bytes(const void* data, std::size_t bytes, int dst,
+                      int tag) const;
+  Request irecv_bytes(void* data, std::size_t capacity, int src,
+                      int tag) const;
+
+  /// Legacy aliases for Request::wait / Request::wait_all.
   static Status wait(Request& rq);
   static void waitall(Request* requests, std::size_t n);
 
@@ -438,7 +462,65 @@ class Comm {
                     std::size_t elem_size, int root, CombineFn combine,
                     const void* op) const;
 
+  // --- non-blocking collectives (progress engine; async.cpp) ---------------
+  //
+  // Each i-collective is COLLECTIVE AT CREATION: every rank must create it
+  // at the same point of its collective call sequence (the tag sequence
+  // numbers are drawn there), but completion may be polled/waited at any
+  // later point, interleaved with other traffic on the same communicator.
+  // Input buffers are consumed at creation (sends capture their payload
+  // eagerly); output buffers must stay alive until completion. The bytes
+  // moved, the combine order, and the received contents are bit-identical
+  // to the blocking counterparts - only the virtual-time accounting differs
+  // (payload copies and fabric charges go to the NIC timeline instead of
+  // the CPU clock).
+
+  /// Non-blocking allreduce: binomial reduce to rank 0 + binomial bcast,
+  /// the exact combine order of allreduce(). `out` is filled on completion.
+  template <class T, class Op>
+  Request iallreduce(const T* in, T* out, std::size_t n, Op op) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto op_copy = std::make_shared<Op>(op);
+    return iallreduce_bytes(
+        in, out, n, sizeof(T), make_combine<T, Op>(),
+        std::shared_ptr<const void>(op_copy, op_copy.get()));
+  }
+
+  Request iallreduce_bytes(const void* in, void* out, std::size_t count,
+                           std::size_t elem_size, CombineFn combine,
+                           std::shared_ptr<const void> op) const;
+
+  /// Non-blocking dense alltoallv: the counts transpose runs synchronously
+  /// at creation (it is a dependency of the receive layout), the data phase
+  /// is asynchronous. `recv_bytes` and `out` are filled on completion.
+  Request ialltoallv_bytes(const void* in,
+                           const std::vector<std::size_t>& send_bytes,
+                           std::vector<std::size_t>* recv_bytes,
+                           std::vector<std::byte>* out) const;
+
+  /// Non-blocking dense exchange with KNOWN sizes (plan reuse path); the
+  /// dense fabric latency/contention charge goes to the NIC timeline.
+  Request ialltoallv_bytes_known(const void* in,
+                                 const std::vector<std::size_t>& send_bytes,
+                                 const std::vector<std::size_t>& recv_bytes,
+                                 void* out) const;
+
+  /// Non-blocking sparse exchange (NBX): sends go out at creation, the
+  /// termination barrier and drain progress via polling.
+  Request isparse_alltoallv_bytes(const void* in,
+                                  const std::vector<std::size_t>& send_bytes,
+                                  std::vector<std::size_t>* recv_bytes,
+                                  std::vector<std::byte>* out) const;
+
+  /// Non-blocking sparse exchange with KNOWN sizes: no barrier round; each
+  /// expected partner message is polled directly.
+  Request isparse_alltoallv_bytes_known(
+      const void* in, const std::vector<std::size_t>& send_bytes,
+      const std::vector<std::size_t>& recv_bytes, void* out) const;
+
  private:
+  friend struct detail::AsyncState;
+
   struct Group {
     std::vector<int> world_ranks;   // comm rank -> engine rank
     std::uint64_t context_id = 0;

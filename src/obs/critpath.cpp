@@ -86,6 +86,18 @@ class StepWalk {
   }
 
   /// Attribute [t0, t1] as local time on `rank`, split per overlapping span.
+  ///
+  /// Hierarchical spans (fcs.run > fcs.sort) nest, and attributing the
+  /// interval to EVERY overlapping span is exactly the per-level phase
+  /// accounting the reports want. Task-graph spans break that assumption:
+  /// the overlapped fcs_run records "task." compute spans CONCURRENT with
+  /// retroactive exchange-flight windows, so the same wall second is inside
+  /// two task spans that are siblings, not ancestor/descendant. Those are
+  /// split exclusively instead: the interval is cut at task-span boundaries
+  /// and each elementary piece goes to the latest-begun covering task span
+  /// (the activity that was actually dispatched last), keeping the task
+  /// phase seconds tiling the local time - coverage stays 1 - while
+  /// non-task spans keep the nested semantics.
   void local(int rank, double t0, double t1) {
     if (t1 <= t0) return;
     path_ += t1 - t0;
@@ -96,10 +108,49 @@ class StepWalk {
     auto it = std::lower_bound(
         spans.begin(), spans.end(), t0,
         [](const SpanEvent& ev, double v) { return ev.end < v; });
+    task_cover_.clear();
     for (; it != spans.end(); ++it) {
       const double ov = std::min(it->end, t1) - std::max(it->begin, t0);
-      if (ov > 0.0) phase_secs_[it->name_id] += ov;
+      if (ov <= 0.0) continue;
+      if (is_task_span(it->name_id))
+        task_cover_.push_back(&*it);
+      else
+        phase_secs_[it->name_id] += ov;
     }
+    if (task_cover_.empty()) return;
+    if (task_cover_.size() == 1) {
+      const SpanEvent& ev = *task_cover_.front();
+      phase_secs_[ev.name_id] +=
+          std::min(ev.end, t1) - std::max(ev.begin, t0);
+      return;
+    }
+    // Elementary intervals between consecutive task-span boundaries.
+    cuts_.clear();
+    cuts_.push_back(t0);
+    cuts_.push_back(t1);
+    for (const SpanEvent* ev : task_cover_) {
+      if (ev->begin > t0 && ev->begin < t1) cuts_.push_back(ev->begin);
+      if (ev->end > t0 && ev->end < t1) cuts_.push_back(ev->end);
+    }
+    std::sort(cuts_.begin(), cuts_.end());
+    for (std::size_t i = 0; i + 1 < cuts_.size(); ++i) {
+      const double a = cuts_[i];
+      const double b = cuts_[i + 1];
+      if (b <= a) continue;
+      const SpanEvent* winner = nullptr;
+      for (const SpanEvent* ev : task_cover_)
+        if (ev->begin <= a && ev->end >= b &&
+            (winner == nullptr || ev->begin > winner->begin))
+          winner = ev;
+      if (winner != nullptr) phase_secs_[winner->name_id] += b - a;
+    }
+  }
+
+  /// Is this span name "task."-prefixed? Cached per name id.
+  bool is_task_span(int id) {
+    const auto [it, inserted] = task_ids_.try_emplace(id, false);
+    if (inserted) it->second = rec_.name_of(id).rfind("task.", 0) == 0;
+    return it->second;
   }
 
   void flight(int src, int dst, double seconds) {
@@ -119,6 +170,9 @@ class StepWalk {
   std::map<int, double> phase_secs_;  // name id -> seconds
   std::map<int, double> rank_secs_;
   std::map<std::pair<int, int>, std::pair<double, std::uint64_t>> link_secs_;
+  std::unordered_map<int, bool> task_ids_;      // name id -> "task." prefix
+  std::vector<const SpanEvent*> task_cover_;    // scratch, reused per local()
+  std::vector<double> cuts_;                    // scratch, reused per local()
 };
 
 void merge_into(CritStep& total, const CritStep& step) {

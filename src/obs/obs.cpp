@@ -34,6 +34,22 @@ void RankObs::end_span() {
   spans_.push_back(ev);
 }
 
+void RankObs::add_span_at(std::string_view name, double begin, double end,
+                          int depth) {
+  if (!recorder_->record_spans()) return;
+  FCS_CHECK(end >= begin, "obs: add_span_at with end < begin");
+  SpanEvent ev;
+  ev.name_id = recorder_->intern(name);
+  ev.depth = depth;
+  ev.begin = begin;
+  ev.end = end;
+  // Keep spans_ in end-time order; retroactive windows usually end at or
+  // near now(), so the scan from the back is short.
+  auto it = spans_.end();
+  while (it != spans_.begin() && (it - 1)->end > ev.end) --it;
+  spans_.insert(it, ev);
+}
+
 std::vector<std::string> RankObs::open_span_names() const {
   std::vector<std::string> out;
   out.reserve(open_.size());
@@ -52,6 +68,18 @@ void RankObs::flow_send(std::uint64_t id, int peer, std::uint64_t bytes) {
   ev.bytes = bytes;
   ev.is_send = true;
   ev.time = now();
+  flows_.push_back(ev);
+}
+
+void RankObs::flow_send_at(std::uint64_t id, int peer, std::uint64_t bytes,
+                           double time) {
+  if (!recorder_->record_spans()) return;
+  FlowEvent ev;
+  ev.id = id;
+  ev.peer = peer;
+  ev.bytes = bytes;
+  ev.is_send = true;
+  ev.time = time;
   flows_.push_back(ev);
 }
 

@@ -147,6 +147,12 @@ class RankObs {
 
   void begin_span(std::string_view name);
   void end_span();
+  /// Record a span over an explicit [begin, end] window, possibly overlapping
+  /// other spans on this track. Used for concurrent task segments (an async
+  /// exchange whose NIC/flight window runs under a compute span) that RAII
+  /// nesting cannot express; `end` must not exceed now(). Inserted keeping
+  /// spans() in end-time order.
+  void add_span_at(std::string_view name, double begin, double end, int depth);
   int open_spans() const { return static_cast<int>(open_.size()); }
   const std::vector<SpanEvent>& spans() const { return spans_; }
   /// Names of spans begun but never ended, outermost first (leak report).
@@ -158,6 +164,11 @@ class RankObs {
   /// record_spans like spans are - flows only matter for traces and the
   /// critical path, both of which need spans anyway.
   void flow_send(std::uint64_t id, int peer, std::uint64_t bytes);
+  /// flow_send with an explicit injection-complete timestamp: async sends
+  /// finish injecting on the NIC timeline, which may lie ahead of the CPU
+  /// clock that now() reads.
+  void flow_send_at(std::uint64_t id, int peer, std::uint64_t bytes,
+                    double time);
   void flow_recv(std::uint64_t id, int peer, std::uint64_t bytes, double post,
                  double arrival);
   /// Flow endpoints of this rank in recording (virtual time) order.

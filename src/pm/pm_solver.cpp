@@ -71,10 +71,20 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
                                  const std::vector<domain::Vec3>& positions,
                                  const std::vector<double>& charges,
                                  const fcs::SolveOptions& options) {
+  return finish_solve(comm, begin_solve(comm, positions, charges, options),
+                      options);
+}
+
+fcs::SolveStage PmSolver::begin_solve(const mpi::Comm& comm,
+                                      const std::vector<domain::Vec3>& positions,
+                                      const std::vector<double>& charges,
+                                      const fcs::SolveOptions& options) {
   FCS_CHECK(tuned_, "pm solver: call tune() before solve()");
   FCS_CHECK(positions.size() == charges.size(), "positions/charges mismatch");
   sim::RankCtx& ctx = comm.ctx();
-  fcs::SolveResult result;
+  fcs::SolveStage stage;
+  auto st = std::make_shared<StageState>();
+  fcs::SolveResult& result = stage.partial;
   const double t0 = ctx.now();
 
   // --- Sort phase: redistribute to the Cartesian grid, create ghosts -------
@@ -216,6 +226,36 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   while (n_owned < received.size() && is_owned(received[n_owned])) ++n_owned;
   sort_phase.stop();
 
+  // Everything the fcs layer needs BEFORE the compute phase: the origin
+  // indices (resort machinery) and the communication regime.
+  result.origin.resize(n_owned);
+  for (std::size_t i = 0; i < n_owned; ++i)
+    result.origin[i] = received[i].origin;
+  result.resort_kind = neighborhood_ok ? redist::ExchangeKind::kSparse
+                                       : redist::ExchangeKind::kDense;
+  result.exchange_used = neighborhood_ok ? plan::Exchange::kNeighborhood
+                                         : plan::Exchange::kAllToAll;
+  result.times.total += ctx.now() - t0;
+  st->grid = std::move(grid);
+  st->received = std::move(received);
+  st->n_owned = n_owned;
+  st->neighborhood_ok = neighborhood_ok;
+  stage.state = std::move(st);
+  return stage;
+}
+
+fcs::SolveResult PmSolver::finish_solve(const mpi::Comm& comm,
+                                        fcs::SolveStage&& stage,
+                                        const fcs::SolveOptions& options) {
+  auto st = std::static_pointer_cast<StageState>(stage.state);
+  FCS_CHECK(st != nullptr, "finish_solve: stage missing pm state");
+  sim::RankCtx& ctx = comm.ctx();
+  fcs::SolveResult result = std::move(stage.partial);
+  const domain::CartGrid& grid = st->grid;
+  const std::vector<PmParticle>& received = st->received;
+  const std::size_t n_owned = st->n_owned;
+  const double t0 = ctx.now();
+
   // --- Compute phase --------------------------------------------------------
   fcs::PhaseScope compute_phase(ctx, result.times, &fcs::PhaseTimes::compute,
                                 "pm.compute");
@@ -252,19 +292,13 @@ fcs::SolveResult PmSolver::solve(const mpi::Comm& comm,
   // --- Output in solver order (ghosts removed, paper Sect. III-B) ----------
   result.positions.resize(n_owned);
   result.charges.resize(n_owned);
-  result.origin.resize(n_owned);
   for (std::size_t i = 0; i < n_owned; ++i) {
     result.positions[i] = received[i].pos;
     result.charges[i] = received[i].charge;
-    result.origin[i] = received[i].origin;
   }
   result.potentials = std::move(potentials);
   result.field = std::move(field);
-  result.resort_kind = neighborhood_ok ? redist::ExchangeKind::kSparse
-                                       : redist::ExchangeKind::kDense;
-  result.exchange_used = neighborhood_ok ? plan::Exchange::kNeighborhood
-                                         : plan::Exchange::kAllToAll;
-  result.times.total = ctx.now() - t0;
+  result.times.total += ctx.now() - t0;
   return result;
 }
 

@@ -44,6 +44,14 @@ class PmSolver final : public fcs::Solver {
                          const std::vector<double>& charges,
                          const fcs::SolveOptions& options) override;
 
+  bool supports_staged_solve() const override { return true; }
+  fcs::SolveStage begin_solve(const mpi::Comm& comm,
+                              const std::vector<domain::Vec3>& positions,
+                              const std::vector<double>& charges,
+                              const fcs::SolveOptions& options) override;
+  fcs::SolveResult finish_solve(const mpi::Comm& comm, fcs::SolveStage&& stage,
+                                const fcs::SolveOptions& options) override;
+
   /// Tuned parameters (exposed for tests and benchmarks).
   const EwaldParams& params() const { return params_; }
   const std::array<std::size_t, 3>& mesh() const { return mesh_; }
@@ -55,6 +63,16 @@ class PmSolver final : public fcs::Solver {
     domain::Vec3 pos;
     double charge;
     std::uint64_t origin;
+  };
+
+  /// Private payload of a staged solve: the redistributed particles (owned
+  /// first, then ghosts), the grid they live on, and the communication
+  /// regime the sort phase settled on.
+  struct StageState {
+    domain::CartGrid grid;
+    std::vector<PmParticle> received;
+    std::size_t n_owned = 0;
+    bool neighborhood_ok = false;
   };
 
   void compute_fields(const mpi::Comm& comm, const domain::CartGrid& grid,

@@ -1,5 +1,6 @@
 #include "redist/exchange_plan.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace redist {
@@ -228,6 +229,184 @@ void FusedBatch::execute() {
     o->add("redist.fused.bytes_moved", static_cast<double>(moved));
   }
   segments_.clear();
+}
+
+std::size_t FusedBatch::async_begin(std::size_t slabs) {
+  FCS_CHECK(async_ == nullptr, "FusedBatch: async run already in progress");
+  if (segments_.empty()) return 0;
+  const ExchangePlan& plan = *plan_;
+  FCS_CHECK(plan.counts_known(),
+            "FusedBatch: plan receive counts not known yet");
+  const mpi::Comm& comm = *comm_;
+  obs::RankObs* const o = comm.ctx().obs();
+  const int p = plan.nranks_;
+  const int r = comm.rank();
+  FCS_CHECK(segments_.size() <= 0xffff, "FusedBatch: too many segments");
+
+  auto run = std::make_unique<AsyncRun>();
+  for (const Segment& s : segments_) run->payload_bytes += s.item_bytes;
+  run->validate = validation_enabled();
+  run->slabs = std::max<std::size_t>(
+      1, std::min(slabs, static_cast<std::size_t>(p)));
+  run->slab.resize(run->slabs);
+
+  const auto msg_bytes = [&](std::size_t items) {
+    return items > 0 ? sizeof(Header) + items * run->payload_bytes : 0;
+  };
+  for (AsyncSlab& sl : run->slab) {
+    sl.send_bytes.assign(static_cast<std::size_t>(p), 0);
+    sl.recv_bytes.assign(static_cast<std::size_t>(p), 0);
+  }
+  for (int i = 0; i < p; ++i) {
+    AsyncSlab& sl = run->slab[static_cast<std::size_t>(r + i) % run->slabs];
+    const std::size_t sb =
+        msg_bytes(plan.send_counts_[static_cast<std::size_t>(i)]);
+    const std::size_t rb =
+        msg_bytes(plan.recv_counts_[static_cast<std::size_t>(i)]);
+    sl.send_bytes[static_cast<std::size_t>(i)] = sb;
+    sl.recv_bytes[static_cast<std::size_t>(i)] = rb;
+    sl.send_total += sb;
+    sl.recv_total += rb;
+  }
+  for (AsyncSlab& sl : run->slab) {
+    sl.send_buf =
+        std::make_unique<mpi::PooledBuffer>(comm.pool(), sl.send_total, o);
+    sl.recv_buf =
+        std::make_unique<mpi::PooledBuffer>(comm.pool(), sl.recv_total, o);
+  }
+  obs::count(o, "redist.fused.async_runs", 1.0);
+  obs::count(o, "redist.fused.slabs", static_cast<double>(run->slabs));
+  async_ = std::move(run);
+  return async_->slabs;
+}
+
+void FusedBatch::async_pack(std::size_t k) {
+  FCS_CHECK(async_ != nullptr && k < async_->slabs,
+            "FusedBatch::async_pack: no async run / bad slab");
+  const ExchangePlan& plan = *plan_;
+  AsyncSlab& sl = async_->slab[k];
+  FCS_CHECK(!sl.packed, "FusedBatch::async_pack: slab " << k
+                            << " already packed");
+  sl.packed = true;
+  const int p = plan.nranks_;
+  const std::size_t nseg = segments_.size();
+  std::size_t pos = 0;
+  for (int d = 0; d < p; ++d) {
+    if (sl.send_bytes[static_cast<std::size_t>(d)] == 0) continue;
+    const std::size_t items = plan.send_counts_[static_cast<std::size_t>(d)];
+    Header h;
+    h.magic = kMagic;
+    h.nseg = static_cast<std::uint16_t>(nseg);
+    h.items = items;
+    std::memcpy(sl.send_buf->data() + pos, &h, sizeof h);
+    pos += sizeof h;
+    const std::size_t first = plan.send_offsets_[static_cast<std::size_t>(d)];
+    for (const Segment& s : segments_) {
+      for (std::size_t j = 0; j < items; ++j)
+        std::memcpy(sl.send_buf->data() + pos + j * s.item_bytes,
+                    s.src + static_cast<std::size_t>(plan.slot_src_[first + j]) *
+                                s.item_bytes,
+                    s.item_bytes);
+      if (async_->validate)
+        async_->sent_sum +=
+            content_checksum(sl.send_buf->data() + pos, items, s.item_bytes);
+      pos += items * s.item_bytes;
+    }
+  }
+  FCS_ASSERT(pos == sl.send_total);
+}
+
+mpi::Request FusedBatch::async_start(std::size_t k) {
+  FCS_CHECK(async_ != nullptr && k < async_->slabs,
+            "FusedBatch::async_start: no async run / bad slab");
+  const ExchangePlan& plan = *plan_;
+  AsyncSlab& sl = async_->slab[k];
+  FCS_CHECK(sl.packed, "FusedBatch::async_start: slab " << k
+                           << " not packed yet");
+  const mpi::Comm& comm = *comm_;
+  // A dense plan pays its collective fabric charge exactly once (the slabs
+  // split ONE dense exchange); the per-partner movement below then runs on
+  // point-to-point accounting like the sparse path.
+  if (plan.kind_ == ExchangeKind::kDense && k == 0) {
+    const sim::NetworkModel& net = *comm.ctx().config().network;
+    std::size_t total_send = 0;
+    for (const AsyncSlab& s : async_->slab) total_send += s.send_total;
+    comm.ctx().charge_nic(
+        net.dense_exchange_latency(comm.ctx().rank(), comm.size()) +
+        static_cast<double>(total_send) *
+            net.dense_exchange_byte_time(comm.size()));
+  }
+  return comm.isparse_alltoallv_bytes_known(sl.send_buf->data(), sl.send_bytes,
+                                            sl.recv_bytes,
+                                            sl.recv_buf->data());
+}
+
+void FusedBatch::async_finish() {
+  FCS_CHECK(async_ != nullptr, "FusedBatch::async_finish: no async run");
+  const ExchangePlan& plan = *plan_;
+  const mpi::Comm& comm = *comm_;
+  obs::RankObs* const o = comm.ctx().obs();
+  const int p = plan.nranks_;
+  const int r = comm.rank();
+  const std::size_t nseg = segments_.size();
+
+  // Resize every output now that all slabs are packed and received (outputs
+  // may alias segment inputs; see add()).
+  const std::size_t n_recv = plan.n_recv_total();
+  std::vector<std::byte*> out_ptr(nseg);
+  for (std::size_t s = 0; s < nseg; ++s)
+    out_ptr[s] = segments_[s].resize_out(segments_[s].out_vec,
+                                         n_recv * segments_[s].item_bytes);
+  std::uint64_t recv_sum = 0;
+  for (AsyncSlab& sl : async_->slab) {
+    std::size_t pos = 0;
+    for (int src = 0; src < p; ++src) {
+      if (sl.recv_bytes[static_cast<std::size_t>(src)] == 0) continue;
+      const std::size_t items =
+          plan.recv_counts_[static_cast<std::size_t>(src)];
+      Header h;
+      std::memcpy(&h, sl.recv_buf->data() + pos, sizeof h);
+      FCS_CHECK(h.magic == kMagic && h.nseg == nseg && h.items == items,
+                "FusedBatch: malformed fused message from rank " << src);
+      pos += sizeof h;
+      const std::size_t slot0 =
+          plan.recv_offsets_[static_cast<std::size_t>(src)];
+      for (std::size_t s = 0; s < nseg; ++s) {
+        const std::size_t ib = segments_[s].item_bytes;
+        if (placement_ == nullptr) {
+          std::memcpy(out_ptr[s] + slot0 * ib, sl.recv_buf->data() + pos,
+                      items * ib);
+        } else {
+          for (std::size_t j = 0; j < items; ++j)
+            std::memcpy(out_ptr[s] +
+                            static_cast<std::size_t>(placement_[slot0 + j]) *
+                                ib,
+                        sl.recv_buf->data() + pos + j * ib, ib);
+        }
+        if (async_->validate)
+          recv_sum += content_checksum(sl.recv_buf->data() + pos, items, ib);
+        pos += items * ib;
+      }
+    }
+    FCS_ASSERT(pos == sl.recv_total);
+  }
+  if (async_->validate)
+    validate_exchange(comm, "fused_exchange", plan.n_send_slots() * nseg,
+                      async_->sent_sum, n_recv * nseg, recv_sum);
+
+  if (o != nullptr) {
+    std::size_t moved = 0;
+    for (const AsyncSlab& sl : async_->slab)
+      for (int i = 0; i < p; ++i)
+        if (i != r) moved += sl.send_bytes[static_cast<std::size_t>(i)];
+    o->add("redist.fused.batches", 1.0);
+    o->add("redist.fused.segments", static_cast<double>(nseg));
+    o->add("redist.fused.elements",
+           static_cast<double>(plan.n_send_slots() * nseg));
+    o->add("redist.fused.bytes_moved", static_cast<double>(moved));
+  }
+  segments_.clear();
+  async_.reset();
 }
 
 }  // namespace redist

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "minimpi/comm.hpp"
@@ -290,6 +291,32 @@ class FusedBatch {
   /// added. After execute() the batch is empty and can be refilled.
   void execute();
 
+  /// Slabbed asynchronous execution through the progress engine: the partner
+  /// set is split into at most `slabs` slabs by the symmetric rule
+  /// slab(partner) = (rank + partner) % n, so both endpoints of every
+  /// message agree on its slab and the per-slab exchanges pair up across
+  /// ranks. Per-partner message bytes are IDENTICAL to execute()'s, which is
+  /// what keeps the task-graph overlapped path bit-identical to the phased
+  /// one (the dense fabric charge still lands once, on the NIC timeline).
+  ///
+  /// Protocol - the async_start calls are collective creations and must run
+  /// in the same k order on every rank (the task executor's ascending
+  /// comm-node order guarantees this):
+  ///   n = batch.async_begin(slabs);
+  ///   for k: batch.async_pack(k);            // CPU packing, any order
+  ///   for k: rq[k] = batch.async_start(k);   // collective creation, in order
+  ///   ... overlap: poll/wait the requests ...
+  ///   batch.async_finish();                  // unpack + validate + clear
+  /// Returns the actual slab count (0 when the batch is empty).
+  std::size_t async_begin(std::size_t slabs);
+  /// Pack slab k's per-partner messages (pure CPU, no communication).
+  void async_pack(std::size_t k);
+  /// Issue slab k's exchange; requires async_pack(k) first.
+  mpi::Request async_start(std::size_t k);
+  /// After EVERY slab's request has completed: unpack into the output
+  /// vectors (resizing them), validate, and clear the batch.
+  void async_finish();
+
  private:
   struct Segment {
     const std::byte* src = nullptr;
@@ -307,10 +334,26 @@ class FusedBatch {
   static_assert(sizeof(Header) == 16);
   static constexpr std::uint32_t kMagic = 0x46555345;  // "FUSE"
 
+  struct AsyncSlab {
+    std::vector<std::size_t> send_bytes, recv_bytes;  // per rank; zero
+                                                      // outside the slab
+    std::unique_ptr<mpi::PooledBuffer> send_buf, recv_buf;
+    std::size_t send_total = 0, recv_total = 0;
+    bool packed = false;
+  };
+  struct AsyncRun {
+    std::size_t slabs = 0;
+    std::size_t payload_bytes = 0;  // per item, across all segments
+    std::uint64_t sent_sum = 0;
+    bool validate = false;
+    std::vector<AsyncSlab> slab;
+  };
+
   const mpi::Comm* comm_;
   const ExchangePlan* plan_;
   const std::uint32_t* placement_;
   std::vector<Segment> segments_;
+  std::unique_ptr<AsyncRun> async_;
 };
 
 }  // namespace redist

@@ -65,6 +65,52 @@ void RankCtx::send(int dst, std::uint64_t tag, const void* data,
   engine_->deliver(dst, std::move(m));
 }
 
+double RankCtx::send_async(int dst, std::uint64_t tag, const void* data,
+                           std::size_t bytes) {
+  const EngineConfig& cfg = engine_->config();
+  FCS_CHECK(dst >= 0 && dst < cfg.nranks,
+            "send to invalid rank " << dst << " of " << cfg.nranks);
+  FaultInjector* const fi = engine_->faults();
+  if (fi != nullptr && fi->plan().affects_messages() && dst != rank_) {
+    // The reliable channel's retry/ack rounds are driven by the sender's
+    // clock; keep them on the blocking path rather than model a faulty NIC.
+    send(dst, tag, data, bytes);
+    return clock_;
+  }
+  check_crashed();
+  maybe_stall();
+  clock_ += cfg.send_overhead;
+  const double copy = static_cast<double>(bytes) / cfg.memory_rate;
+  const double inject = cfg.network->injection_time(rank_, dst, bytes);
+  const double start = std::max(nic_busy_until_, clock_);
+  nic_busy_until_ = start + copy + inject;
+  if (obs_ != nullptr) {
+    obs_->add("sim.send.msgs", 1.0);
+    obs_->add("sim.send.bytes", static_cast<double>(bytes));
+    obs_->add("sim.nic.sends", 1.0);
+    obs_->add("sim.nic.busy_s", copy + inject);
+    obs_->observe("sim.msg_bytes", static_cast<double>(bytes));
+  }
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.seq = engine_->mailbox().next_seq();
+  m.flow = m.seq;
+  m.arrival = nic_busy_until_ + cfg.network->p2p_time(rank_, dst, bytes);
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  if (obs_ != nullptr) obs_->flow_send_at(m.flow, dst, bytes, nic_busy_until_);
+  const double done = nic_busy_until_;
+  engine_->deliver(dst, std::move(m));
+  return done;
+}
+
+void RankCtx::charge_nic(double seconds) {
+  FCS_ASSERT(seconds >= 0.0);
+  nic_busy_until_ = std::max(nic_busy_until_, clock_) + seconds;
+  obs::count(obs_, "sim.nic.busy_s", seconds);
+}
+
 void RankCtx::send_faulty(int dst, std::size_t bytes, Message m) {
   const EngineConfig& cfg = engine_->config();
   FaultInjector& fi = *engine_->faults();
@@ -224,6 +270,28 @@ RankCtx::RecvInfo RankCtx::recv(int src, std::int64_t tag) {
     engine_->block_current(*this, src, tag);
     check_crashed();
   }
+}
+
+bool RankCtx::try_recv(int src, std::int64_t tag, RecvInfo* out) {
+  const EngineConfig& cfg = engine_->config();
+  check_crashed();
+  auto m = engine_->mailbox().try_match_arrived(rank_, src, tag, clock_);
+  if (!m.has_value()) return false;
+  const double posted = clock_;
+  clock_ += cfg.recv_overhead +
+            static_cast<double>(m->payload.size()) / cfg.memory_rate;
+  if (obs_ != nullptr) {
+    obs_->add("sim.recv.msgs", 1.0);
+    obs_->add("sim.recv.bytes", static_cast<double>(m->payload.size()));
+    // post == consume time: a polled receive never waited, so the
+    // critical-path walk must not treat it as gating (arrival <= post).
+    obs_->flow_recv(m->flow, m->src, m->payload.size(), posted, m->arrival);
+  }
+  out->src = m->src;
+  out->tag = m->tag;
+  out->arrival = m->arrival;
+  out->payload = std::move(m->payload);
+  return true;
 }
 
 bool RankCtx::can_recv(int src, std::int64_t tag) const {

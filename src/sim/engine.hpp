@@ -98,6 +98,25 @@ class RankCtx {
   /// Eager point-to-point send; never blocks.
   void send(int dst, std::uint64_t tag, const void* data, std::size_t bytes);
 
+  /// Asynchronous send: only the fixed per-message overhead is charged to
+  /// the CPU clock; the payload copy and fabric injection occupy the
+  /// simulated NIC, which keeps its own busy timeline so consecutive async
+  /// sends queue behind each other while the CPU runs ahead. Returns the
+  /// virtual time the NIC finishes injecting (the send's completion time -
+  /// waiting on the send means advancing the CPU clock to it). Under an
+  /// active message fault plan this degrades to the blocking send path (the
+  /// reliable retry/ack protocol is synchronous by construction).
+  double send_async(int dst, std::uint64_t tag, const void* data,
+                    std::size_t bytes);
+
+  /// Add seconds of NIC occupancy ahead of the next async injection (async
+  /// collectives charge dense-exchange fabric setup here instead of to the
+  /// CPU clock).
+  void charge_nic(double seconds);
+
+  /// Virtual time until which the NIC is busy injecting prior async sends.
+  double nic_busy_until() const { return nic_busy_until_; }
+
   struct RecvInfo {
     int src = 0;
     std::uint64_t tag = 0;
@@ -107,6 +126,12 @@ class RankCtx {
 
   /// Blocking receive; src may be kAnySource, tag may be kAnyTag.
   RecvInfo recv(int src, std::int64_t tag);
+
+  /// Polling receive: consume a matching message only if its last byte has
+  /// already arrived (arrival <= now()). Never blocks and never advances the
+  /// clock past the receive-side processing cost; returns false when nothing
+  /// has arrived yet.
+  bool try_recv(int src, std::int64_t tag, RecvInfo* out);
 
   /// Non-consuming check whether a matching message is available now.
   bool can_recv(int src, std::int64_t tag) const;
@@ -167,6 +192,8 @@ class RankCtx {
   int rank_;
   obs::RankObs* obs_ = nullptr;
   double clock_ = 0.0;
+  // NIC busy timeline for async sends (send_async); independent of clock_.
+  double nic_busy_until_ = 0.0;
   // Wait descriptor, valid while this rank is blocked in recv().
   int wait_src_ = 0;
   std::int64_t wait_tag_ = 0;

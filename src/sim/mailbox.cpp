@@ -65,6 +65,48 @@ std::optional<Message> Mailbox::try_match(int dst, int src, std::int64_t tag) {
   return out;
 }
 
+std::optional<Message> Mailbox::try_match_arrived(int dst, int src,
+                                                  std::int64_t tag,
+                                                  double now) {
+  auto& by_source = queues_[static_cast<std::size_t>(dst)];
+  SourceQueues::iterator chosen = by_source.end();
+  std::size_t chosen_index = npos;
+  if (src != kAnySource) {
+    auto it = by_source.find(src);
+    if (it == by_source.end()) return std::nullopt;
+    chosen_index = find_in_source(it->second, tag);
+    if (chosen_index == npos) return std::nullopt;
+    if (it->second[chosen_index].arrival > now) return std::nullopt;
+    chosen = it;
+  } else {
+    for (auto it = by_source.begin(); it != by_source.end(); ++it) {
+      const std::size_t i = find_in_source(it->second, tag);
+      if (i == npos) continue;
+      const Message& m = it->second[i];
+      if (m.arrival > now) continue;  // in flight: this source yields nothing
+      if (chosen == by_source.end()) {
+        chosen = it;
+        chosen_index = i;
+        continue;
+      }
+      const Message& best = chosen->second[chosen_index];
+      if (m.arrival < best.arrival ||
+          (m.arrival == best.arrival &&
+           (m.src < best.src || (m.src == best.src && m.seq < best.seq)))) {
+        chosen = it;
+        chosen_index = i;
+      }
+    }
+    if (chosen == by_source.end()) return std::nullopt;
+  }
+  Message out = std::move(chosen->second[chosen_index]);
+  chosen->second.erase(chosen->second.begin() +
+                       static_cast<std::ptrdiff_t>(chosen_index));
+  if (chosen->second.empty()) by_source.erase(chosen);
+  --pending_[static_cast<std::size_t>(dst)];
+  return out;
+}
+
 bool Mailbox::has_match(int dst, int src, std::int64_t tag) const {
   const auto& by_source = queues_[static_cast<std::size_t>(dst)];
   if (src != kAnySource) {

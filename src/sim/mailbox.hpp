@@ -48,6 +48,14 @@ class Mailbox {
   /// nullopt if none has been delivered yet.
   std::optional<Message> try_match(int dst, int src, std::int64_t tag);
 
+  /// Like try_match, but only consumes a message whose last byte has ARRIVED
+  /// (arrival <= now). Non-overtaking is preserved per source: if the first
+  /// tag match from a source is still in flight, that source yields nothing
+  /// rather than a later message. This is the polling primitive of the async
+  /// progress engine - the CPU checks the wire without blocking.
+  std::optional<Message> try_match_arrived(int dst, int src, std::int64_t tag,
+                                           double now);
+
   /// True if some message for dst matches (src, tag) - used by probe.
   bool has_match(int dst, int src, std::int64_t tag) const;
 

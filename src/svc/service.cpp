@@ -10,6 +10,7 @@
 #include "minimpi/cart.hpp"
 #include "obs/obs.hpp"
 #include "pm/pm_solver.hpp"
+#include "redist/exchange_plan.hpp"
 #include "svc/signature.hpp"
 
 namespace svc {
@@ -99,11 +100,30 @@ bool run_job(const mpi::Comm& service, const mpi::Comm& gang,
   }
 
   // Pool preload is per rank: capacity classes are local scratch sizing,
-  // not collective state, so each member warms from its own history.
+  // not collective state, so each member warms from its own history. When
+  // the entry carries a resort-plan skeleton, rebuild it into a counts-known
+  // ExchangePlan and pre-size the fused-exchange staging buffers to the
+  // exact footprint of the cached session's final resort (header + payload
+  // per partner message, cfg.fields Vec3 segments - what md resorts each
+  // step), so the first warm resort grows no pool classes at all.
   if (caching) {
-    if (const WarmEntry* e = cache->find(key);
-        e != nullptr && !e->pool_classes.empty())
-      gang.pool().preload(e->pool_classes, o);
+    if (const WarmEntry* e = cache->find(key); e != nullptr) {
+      if (!e->pool_classes.empty()) gang.pool().preload(e->pool_classes, o);
+      redist::ExchangePlan plan;
+      if (rebuild_plan(*e, gang, &plan)) {
+        const std::size_t item_bytes =
+            sizeof(domain::Vec3) * static_cast<std::size_t>(std::max(1, cfg.fields));
+        std::size_t send_total = 0;
+        std::size_t recv_total = 0;
+        for (const std::size_t c : plan.send_counts())
+          if (c > 0) send_total += 16 + c * item_bytes;
+        for (const std::size_t c : plan.recv_counts())
+          if (c > 0) recv_total += 16 + c * item_bytes;
+        if (send_total > 0 || recv_total > 0)
+          gang.pool().preload({send_total, recv_total}, o);
+        obs::count(o, "svc.plan.rebuilt", 1.0);
+      }
+    }
   }
 
   md::SystemConfig sys;
@@ -430,6 +450,9 @@ ServiceReport Service::run(const mpi::Comm& comm,
                            const std::vector<JobSpec>& trace,
                            const SvcConfig& cfg, WarmStateCache* cache) {
   FCS_CHECK(comm.size() >= 2, "service needs a scheduler and >= 1 worker");
+  // One service incarnation = one cache epoch: entries untouched for
+  // kMaxEpochAge incarnations describe a machine state too old to trust.
+  if (cache != nullptr) cache->advance_epoch();
   for (std::size_t i = 1; i < trace.size(); ++i)
     FCS_CHECK(trace[i - 1].arrival <= trace[i].arrival,
               "service trace must be sorted by arrival");

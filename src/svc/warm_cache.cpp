@@ -1,5 +1,11 @@
 #include "svc/warm_cache.hpp"
 
+#include <cstdlib>
+#include <iterator>
+
+#include "minimpi/comm.hpp"
+#include "redist/exchange_plan.hpp"
+
 namespace svc {
 
 void WarmEntry::save(fcs::ByteWriter& w) const {
@@ -11,6 +17,8 @@ void WarmEntry::save(fcs::ByteWriter& w) const {
   w.put_vector(plan_send_bytes);
   w.put_vector(plan_recv_bytes);
   w.put(static_cast<std::int32_t>(sessions));
+  w.put(last_used);
+  w.put(last_epoch);
 }
 
 void WarmEntry::load(fcs::ByteReader& r) {
@@ -22,19 +30,69 @@ void WarmEntry::load(fcs::ByteReader& r) {
   plan_send_bytes = r.get_vector<std::uint64_t>();
   plan_recv_bytes = r.get_vector<std::uint64_t>();
   sessions = r.get<std::int32_t>();
+  last_used = r.get<std::uint64_t>();
+  last_epoch = r.get<std::uint64_t>();
 }
 
-const WarmEntry* WarmStateCache::find(const std::string& key) const {
+WarmStateCache::WarmStateCache() {
+  if (const char* v = std::getenv("FCS_SVC_CACHE_MAX"); v != nullptr && *v != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    max_entries_ = n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+}
+
+void WarmStateCache::touch(WarmEntry& e) {
+  e.last_used = ++tick_;
+  e.last_epoch = epoch_;
+}
+
+void WarmStateCache::evict_to_cap() {
+  while (max_entries_ > 0 && entries_.size() > max_entries_) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    entries_.erase(victim);
+    ++evicted_;
+  }
+}
+
+const WarmEntry* WarmStateCache::find(const std::string& key) {
   const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it == entries_.end()) return nullptr;
+  touch(it->second);
+  return &it->second;
 }
 
 WarmEntry& WarmStateCache::upsert(const std::string& key) {
+  WarmEntry& e = entries_[key];
+  touch(e);
+  evict_to_cap();
+  // The freshly touched entry carries the maximal tick, so it can never be
+  // the eviction victim: upsert always returns a live reference.
   return entries_[key];
+}
+
+void WarmStateCache::set_capacity(std::size_t max_entries) {
+  max_entries_ = max_entries;
+  evict_to_cap();
+}
+
+void WarmStateCache::advance_epoch(std::uint64_t max_age) {
+  ++epoch_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (epoch_ - it->second.last_epoch > max_age) {
+      it = entries_.erase(it);
+      ++evicted_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void WarmStateCache::save(fcs::ByteWriter& w) const {
   w.put(static_cast<std::uint64_t>(entries_.size()));
+  w.put(tick_);
+  w.put(epoch_);
   for (const auto& [key, entry] : entries_) {
     w.put(static_cast<std::uint64_t>(key.size()));
     w.put_raw(key.data(), key.size());
@@ -45,6 +103,8 @@ void WarmStateCache::save(fcs::ByteWriter& w) const {
 void WarmStateCache::load(fcs::ByteReader& r) {
   entries_.clear();
   const std::uint64_t n = r.get<std::uint64_t>();
+  tick_ = r.get<std::uint64_t>();
+  epoch_ = r.get<std::uint64_t>();
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t len = r.get<std::uint64_t>();
     FCS_CHECK(len <= r.remaining(), "warm cache: bad key length");
@@ -52,6 +112,39 @@ void WarmStateCache::load(fcs::ByteReader& r) {
     if (len > 0) r.get_raw(key.data(), key.size());
     entries_[key].load(r);
   }
+  evict_to_cap();
+}
+
+bool rebuild_plan(const WarmEntry& e, const mpi::Comm& comm,
+                  redist::ExchangePlan* out) {
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  if (e.plan_kind < 0 || e.plan_send_bytes.size() != p ||
+      e.plan_recv_bytes.size() != p)
+    return false;
+  std::size_t n_items = 0;
+  for (const std::uint64_t c : e.plan_send_bytes)
+    n_items += static_cast<std::size_t>(c);
+  // Identity distribution in destination-major order: items
+  // [offset(d), offset(d+1)) go to rank d, so slot i is item i and the
+  // rebuilt plan's counts/offsets match the cached session's exactly.
+  std::size_t dest = 0;
+  std::size_t remaining =
+      p > 0 ? static_cast<std::size_t>(e.plan_send_bytes[0]) : 0;
+  redist::ExchangePlan plan = redist::ExchangePlan::build(
+      comm, n_items,
+      [&](std::size_t, std::vector<int>& targets) {
+        while (remaining == 0) {
+          ++dest;
+          remaining = static_cast<std::size_t>(e.plan_send_bytes[dest]);
+        }
+        --remaining;
+        targets.push_back(static_cast<int>(dest));
+      },
+      static_cast<redist::ExchangeKind>(e.plan_kind));
+  plan.set_recv_counts(std::vector<std::size_t>(e.plan_recv_bytes.begin(),
+                                                e.plan_recv_bytes.end()));
+  *out = std::move(plan);
+  return true;
 }
 
 }  // namespace svc

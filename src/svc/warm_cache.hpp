@@ -17,13 +17,23 @@
 //   * the buffer pool's warmed capacity classes (BufferPool::
 //     capacity_classes(), preload()ed into the next gang's pool),
 //   * the skeleton of the session's final resort ExchangePlan (kind and
-//     per-partner byte counts) - enough to pre-size pools and attribute
-//     plan reuse, without pinning rank-specific slot indices that the next
-//     job's particle layout would invalidate.
+//     per-partner slot counts on both sides) - rebuild_plan() turns it back
+//     into a counts-known ExchangePlan so the next gang can pre-size the
+//     fused exchange staging buffers exactly, without pinning rank-specific
+//     slot indices that the next job's particle layout would invalidate.
 //
 // The cache is PER RANK (each fiber owns one); the gang leader's planner
 // blob is broadcast at job start so restored planner state is symmetric
 // across the gang even when members' cache histories diverge.
+//
+// Growth policy: long-lived services see an open-ended stream of workload
+// signatures, so the cache is bounded two ways. (1) LRU cap: FCS_SVC_CACHE_MAX
+// (0 = unbounded, the default) caps the entry count; inserting past the cap
+// evicts the least-recently-touched entry (ties broken by key order, so
+// eviction is deterministic). (2) Epoch staleness: the service bumps the
+// cache epoch once per incarnation (Service::run); entries untouched for
+// more than kMaxEpochAge epochs are invalidated wholesale - their planner
+// priors describe a machine state many service generations old.
 #pragma once
 
 #include <cstddef>
@@ -34,19 +44,31 @@
 
 #include "support/serialize.hpp"
 
+namespace mpi {
+class Comm;
+}
+namespace redist {
+class ExchangePlan;
+}
+
 namespace svc {
 
 struct WarmEntry {
   std::vector<std::byte> planner_blob;
   std::vector<std::byte> balancer_blob;
   std::vector<std::size_t> pool_classes;
-  /// Skeleton of the last session's final resort plan: redist::PlanKind as
-  /// int (-1 = none captured) plus per-partner byte counts.
+  /// Skeleton of the last session's final resort plan: redist::ExchangeKind
+  /// as int (-1 = none captured) plus per-partner plan slot counts.
   int plan_kind = -1;
   std::vector<std::uint64_t> plan_send_bytes;
   std::vector<std::uint64_t> plan_recv_bytes;
   /// How many completed sessions fed this entry (freshness diagnostics).
   int sessions = 0;
+  /// Recency bookkeeping (maintained by the cache, persisted so a reloaded
+  /// service keeps its eviction order): global access tick of the last
+  /// find/upsert, and the cache epoch it happened in.
+  std::uint64_t last_used = 0;
+  std::uint64_t last_epoch = 0;
 
   void save(fcs::ByteWriter& w) const;
   void load(fcs::ByteReader& r);
@@ -54,13 +76,35 @@ struct WarmEntry {
 
 class WarmStateCache {
  public:
-  /// Entry for `key`, or null when the workload was never seen.
-  const WarmEntry* find(const std::string& key) const;
+  /// Entries untouched for more than this many advance_epoch() calls are
+  /// dropped (one epoch = one service incarnation).
+  static constexpr std::uint64_t kMaxEpochAge = 8;
 
-  /// Entry for `key`, created empty on first use.
+  /// Reads FCS_SVC_CACHE_MAX once (0 = unbounded).
+  WarmStateCache();
+
+  /// Entry for `key`, or null when the workload was never seen. Touches the
+  /// entry's recency (hence non-const).
+  const WarmEntry* find(const std::string& key);
+
+  /// Entry for `key`, created empty on first use; touches recency and, when
+  /// the insertion pushes past the capacity, evicts the LRU entry.
   WarmEntry& upsert(const std::string& key);
 
   std::size_t size() const { return entries_.size(); }
+
+  /// LRU cap override (tests / programmatic config); 0 = unbounded.
+  /// Shrinking below the current size evicts immediately.
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const { return max_entries_; }
+
+  /// Start a new epoch and drop entries untouched for more than `max_age`
+  /// epochs. The service calls this once per incarnation.
+  void advance_epoch(std::uint64_t max_age = kMaxEpochAge);
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Entries removed so far by the LRU cap or epoch staleness.
+  std::uint64_t evictions() const { return evicted_; }
 
   /// Whole-cache stream I/O (persistence across service incarnations; the
   /// map is ordered so the byte stream is deterministic).
@@ -68,7 +112,26 @@ class WarmStateCache {
   void load(fcs::ByteReader& r);
 
  private:
+  void touch(WarmEntry& e);
+  void evict_to_cap();
+
   std::map<std::string, WarmEntry> entries_;
+  std::size_t max_entries_ = 0;  // 0 = unbounded
+  std::uint64_t tick_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t evicted_ = 0;
 };
+
+/// Reconstruct a counts-known ExchangePlan from a cached skeleton: an
+/// identity-slot plan (item i IS outgoing slot i, destination-major) with
+/// the cached per-partner counts on both sides. The rebuilt plan is
+/// applicable immediately - no counts transpose, no NBX barrier - and its
+/// staging-buffer footprint equals the cached session's final resort
+/// exchange, which is what run_job uses to pre-size the gang's pool
+/// exactly. Returns false (leaving `out` untouched) when the entry carries
+/// no skeleton, the receive side was never captured, or the skeleton was
+/// recorded on a different communicator size. No communication.
+bool rebuild_plan(const WarmEntry& e, const mpi::Comm& comm,
+                  redist::ExchangePlan* out);
 
 }  // namespace svc

@@ -493,6 +493,50 @@ TEST(Critpath, HandoffChainIsExactlyReconstructed) {
   EXPECT_EQ(rep.total.critical_rank, 1);
 }
 
+TEST(Critpath, OverlappedTaskWindowsSplitExclusively) {
+  // The overlapped fcs_run records "task." compute spans CONCURRENT with
+  // retroactive exchange-flight windows (add_span_at), so the same wall
+  // second sits inside two sibling task spans. The walk must split such
+  // intervals exclusively at task boundaries - latest-begun covering task
+  // span wins - so the task phases tile local time and coverage stays 1.
+  //   rank 0: md.step [0,10]         (non-task: keeps nested attribution)
+  //           task.force [0,6]       (compute span)
+  //           task.xchg.0 [1,4]      (retroactive flight window)
+  //           task.xchg.1 [5,8]      (flight outlives the compute span)
+  obs::Recorder rec;
+  rec.attach(1);
+  obs::RankObs& r0 = rec.rank(0);
+  double c0 = 0.0;
+  r0.bind_clock(&c0);
+
+  r0.begin_span("md.step");
+  r0.begin_span("task.force");
+  c0 = 6.0;
+  r0.end_span();
+  r0.add_span_at("task.xchg.0", 1.0, 4.0, /*depth=*/2);
+  r0.add_span_at("task.xchg.1", 5.0, 8.0, /*depth=*/2);
+  c0 = 10.0;
+  r0.end_span();
+
+  const obs::CritPathReport rep = obs::build_critpath(rec);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const obs::CritStep& s = rep.steps[0];
+  EXPECT_DOUBLE_EQ(s.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(s.path, 10.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+  // Exclusive split: force keeps [0,1] and [4,5]; the flight windows win
+  // [1,4] and [5,8] (latest begin); [8,10] belongs to no task span.
+  EXPECT_DOUBLE_EQ(s.phases.at("task.force"), 2.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("task.xchg.0"), 3.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("task.xchg.1"), 3.0);
+  // Task phases tile the task-covered portion of the window exactly.
+  EXPECT_DOUBLE_EQ(s.phases.at("task.force") + s.phases.at("task.xchg.0") +
+                       s.phases.at("task.xchg.1"),
+                   8.0);
+  // The enclosing non-task span still sees every second (nested semantics).
+  EXPECT_DOUBLE_EQ(s.phases.at("md.step"), 10.0);
+}
+
 TEST(Critpath, WaitTimeIsChargedToTheSender) {
   auto rec = std::make_shared<obs::Recorder>();
   sim::EngineConfig cfg;
