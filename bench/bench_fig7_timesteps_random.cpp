@@ -14,8 +14,15 @@
 // all-to-all. With FIG_METRICS set, the per-step alltoall byte counters of
 // the A/B runs versus the Bm run show the dense -> sparse switch directly.
 //
+// A fifth series "Bs" repeats the plain B configuration with the columnar
+// particle store (FCS_STORE machinery, src/store): the integrator fields
+// travel INSIDE the solver's own redistribution exchange instead of a
+// separate per-step resort round, so the redistribution share of each step
+// drops while the physics stays bit-identical - the run asserts that the
+// B and Bs final-state checksums match and prints "store bit-identity: yes".
+//
 // Robustness testing (see README "Robustness testing"): when any FCS_FAULT_*
-// knob is set, a fourth series "Bmf" repeats the Bm configuration under the
+// knob is set, a final series "Bmf" repeats the Bm configuration under the
 // env-configured fault plan plus the FCS_FAULT_ROGUE max-movement-violation
 // rate. In the FIG_METRICS output, fallback steps of the faulty run show up
 // as "redist.fallback" counts and per-step "mpi.alltoallv.bytes" reappearing
@@ -33,7 +40,7 @@ int main() {
   const sim::FaultPlan faults = sim::FaultPlan::from_env();
   const double rogue = bench::env_double("FCS_FAULT_ROGUE", 0.0);
   const bool faulty = faults.active() || rogue > 0.0;
-  const int variants = faulty ? 5 : 4;
+  const int variants = faulty ? 6 : 5;
 
   std::printf("Fig. 7: time steps with random initial distribution, %d "
               "ranks, %zu particles (virtual seconds)\n",
@@ -46,12 +53,12 @@ int main() {
                 rogue);
 
   std::vector<bench::Series> json_series;
-  static const char* kVariantNames[] = {"A", "B", "Bm", "Bo", "Bmf"};
+  static const char* kVariantNames[] = {"A", "B", "Bm", "Bo", "Bs", "Bmf"};
   for (const char* solver : {"fmm", "pm"}) {
     std::vector<std::string> columns = {"step",    "A_sort", "A_restore",
                                         "A_total", "B_sort", "B_resort",
                                         "B_total", "Bm_sort", "Bm_total",
-                                        "Bo_total"};
+                                        "Bo_total", "Bs_total"};
     if (faulty) {
       columns.push_back("Bmf_sort");
       columns.push_back("Bmf_total");
@@ -69,18 +76,25 @@ int main() {
       // series exploits it (and Bmf stresses it under faults). Bo repeats
       // the plain B configuration through the task-graph overlapped
       // fcs_run (FCS_TASK): identical work, exchange hidden under compute.
-      cfg.exploit_max_movement = variant == 2 || variant == 4;
+      // Bs repeats plain B with the columnar store carrying the integrator
+      // fields inside the solver exchange (FCS_STORE machinery).
+      cfg.exploit_max_movement = variant == 2 || variant == 5;
       cfg.modeled_compute = true;
       cfg.surrogate_motion = true;
       cfg.surrogate_step = 0.1;  // slight movement, like early time steps
-      if (variant == 4) cfg.rogue_rate = rogue;
+      if (variant == 5) cfg.rogue_rate = rogue;
       const bool overlapped = variant == 3;
+      const bool stored = variant == 4;
       if (overlapped) fcs::set_task_mode(1);
+      if (stored) fcs::set_store_mode(1);
+      std::string label;
+      if (overlapped) label = std::string(solver) + "-B-task";
+      if (stored) label = std::string(solver) + "-B-store";
       bench::SimOutcome out = bench::run_configuration(
-          nranks, bench::juropa_like(), sys, solver, cfg, 256,
-          overlapped ? std::string(solver) + "-B-task" : std::string{},
-          variant == 4 ? &faults : nullptr);
+          nranks, bench::juropa_like(), sys, solver, cfg, 256, label,
+          variant == 5 ? &faults : nullptr);
       if (overlapped) fcs::set_task_mode(-1);
+      if (stored) fcs::set_store_mode(-1);
       res[static_cast<std::size_t>(variant)] = std::move(out.result);
       const auto& r = res[static_cast<std::size_t>(variant)];
       bench::Series s;
@@ -88,17 +102,28 @@ int main() {
       s.total_time = out.makespan;
       for (const auto& t : r.step_times) s.per_step.push_back(t.total);
       s.imbalance = r.compute_imbalance;
-      s.method = variant == 0 ? "A" : variant == 1 || variant == 3 ? "B" : "B+mm";
-      s.sort = variant == 2 || variant == 4 ? "auto" : "partition";
-      s.exchange = variant == 2 || variant == 4 ? "auto" : "alltoall";
+      s.method = variant == 0                  ? "A"
+                 : variant == 2 || variant == 5 ? "B+mm"
+                                                : "B";
+      s.sort = variant == 2 || variant == 5 ? "auto" : "partition";
+      s.exchange = variant == 2 || variant == 5 ? "auto" : "alltoall";
       s.network = "switched";
       json_series.push_back(std::move(s));
     }
+    // The store path must be a pure transport change: the final per-particle
+    // state of the plain-B and the store-B run agree bit for bit.
+    FCS_CHECK(res[1].state_checksum == res[4].state_checksum,
+              solver << ": store run diverged from the legacy run (checksum "
+                     << res[1].state_checksum << " vs "
+                     << res[4].state_checksum << ")");
+    std::printf("\n%s store bit-identity: yes (checksum %016llx)\n", solver,
+                static_cast<unsigned long long>(res[1].state_checksum));
     for (int s = 0; s <= steps; ++s) {
       const auto& a = res[0].step_times.at(static_cast<std::size_t>(s));
       const auto& b = res[1].step_times.at(static_cast<std::size_t>(s));
       const auto& bm = res[2].step_times.at(static_cast<std::size_t>(s));
       const auto& bo = res[3].step_times.at(static_cast<std::size_t>(s));
+      const auto& bs = res[4].step_times.at(static_cast<std::size_t>(s));
       auto& row = table.begin_row()
           .col(s == 0 ? std::string("init") : std::to_string(s))
           .col(a.sort, 4)
@@ -109,9 +134,10 @@ int main() {
           .col(b.total, 4)
           .col(bm.sort, 4)
           .col(bm.total, 4)
-          .col(bo.total, 4);
+          .col(bo.total, 4)
+          .col(bs.total, 4);
       if (faulty) {
-        const auto& bmf = res[4].step_times.at(static_cast<std::size_t>(s));
+        const auto& bmf = res[5].step_times.at(static_cast<std::size_t>(s));
         row.col(bmf.sort, 4).col(bmf.total, 4);
       }
     }

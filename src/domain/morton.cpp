@@ -58,4 +58,21 @@ std::uint64_t morton_key(const Box& box, int level, const Vec3& p) {
   return morton_encode(x, y, z);
 }
 
+void morton_keys_batch(const Box& box, int level, const Vec3* pos,
+                       std::size_t n, std::uint64_t* out) {
+  FCS_CHECK(level >= 0 && level <= kMaxMortonLevel,
+            "octree level " << level << " out of range");
+  const std::uint32_t cells = 1u << level;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 t = box.normalized(pos[i]);
+    std::uint32_t x = static_cast<std::uint32_t>(t.x * cells);
+    std::uint32_t y = static_cast<std::uint32_t>(t.y * cells);
+    std::uint32_t z = static_cast<std::uint32_t>(t.z * cells);
+    if (x >= cells) x = cells - 1;
+    if (y >= cells) y = cells - 1;
+    if (z >= cells) z = cells - 1;
+    out[i] = morton_encode(x, y, z);
+  }
+}
+
 }  // namespace domain

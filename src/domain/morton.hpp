@@ -6,6 +6,7 @@
 // decomposition, where each rank owns a contiguous segment of the Z curve.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "domain/box.hpp"
@@ -29,6 +30,13 @@ void cell_of_position(const Box& box, int level, const Vec3& p,
 
 /// Morton code of the octree box (at `level`) containing the position.
 std::uint64_t morton_key(const Box& box, int level, const Vec3& p);
+
+/// Batched morton_key over a contiguous position column: out[i] =
+/// morton_key(box, level, pos[i]). The level check is hoisted out of the
+/// loop and the normalize/clamp/interleave arithmetic runs over contiguous
+/// memory; per-element results are bit-identical to morton_key.
+void morton_keys_batch(const Box& box, int level, const Vec3* pos,
+                       std::size_t n, std::uint64_t* out);
 
 /// Morton code of a box's parent at level-1.
 inline std::uint64_t morton_parent(std::uint64_t code) { return code >> 3; }

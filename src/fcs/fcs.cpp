@@ -6,6 +6,7 @@
 #include "redist/conserve.hpp"
 #include "redist/exchange_plan.hpp"
 #include "redist/resort.hpp"
+#include "store/particle_store.hpp"
 #include "task/task_graph.hpp"
 
 namespace fcs {
@@ -49,6 +50,27 @@ std::size_t task_slabs() {
 }
 
 void set_task_slabs(std::size_t slabs) { g_slab_override = slabs; }
+
+namespace {
+
+int g_store_override = -1;
+
+bool env_store() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FCS_STORE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool store_enabled() {
+  if (g_store_override >= 0) return g_store_override != 0;
+  return env_store();
+}
+
+void set_store_mode(int enabled) { g_store_override = enabled; }
 
 namespace {
 
@@ -169,6 +191,16 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       balancer_ != nullptr && balancer_->active() ? balancer_.get() : nullptr;
   sopts.plan = planned ? &rplan : nullptr;
 
+  // Columnar store coupling (src/store): hand the store's payload columns to
+  // the solver, so a carrying solver path ships them inside its own
+  // redistribution exchange instead of a separate resort round.
+  if (staged_store_ != nullptr) {
+    FCS_CHECK(staged_store_->size() == n_original,
+              "stage_store: store holds " << staged_store_->size()
+                  << " rows for " << n_original << " local particles");
+    if (want_resort) sopts.carry = &staged_store_->exchange_columns();
+  }
+
   // Queue a staged field into a fused batch (shared by the overlapped and
   // the phased staged-field paths below).
   const auto add_field = [](redist::FusedBatch& b, const ResortBatch::Field& f) {
@@ -198,6 +230,7 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
   PhaseTimes task_times;       // resort-machinery time of the overlapped path
   bool task_resorted = false;  // the graph already ran the resort machinery
   bool staged_done = false;    // staged fields already exchanged by the graph
+  bool store_done = false;     // store columns already exchanged by the graph
 
   if (use_task) {
     auto stage = std::make_shared<SolveStage>(
@@ -233,13 +266,22 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
                                                    stage->partial.resort_kind);
         else
           resort_plan_.reset();
-        if (resort_plan_.valid() && !staged_fields_.empty()) {
+        // Store columns ride the same slabbed batch - unless the solver
+        // already carried them inside its own exchange.
+        const bool store_pending =
+            staged_store_ != nullptr && !stage->partial.fields_carried;
+        if (resort_plan_.valid() &&
+            (!staged_fields_.empty() || store_pending)) {
           batch.emplace(comm_, resort_plan_.plan(), resort_plan_.placement());
           for (const ResortBatch::Field& f : staged_fields_)
             add_field(*batch, f);
+          if (store_pending) staged_store_->stage_into(*batch);
           nslabs = batch->async_begin(task_slabs());
-          resort_field_count_ += staged_fields_.size();
-          staged_done = true;
+          resort_field_count_ +=
+              staged_fields_.size() +
+              (store_pending ? staged_store_->payload_fields() : 0);
+          staged_done = !staged_fields_.empty();
+          store_done = store_pending;
         }
       }
       // The overlapped graph: per-slab pack -> async exchange, the force
@@ -384,6 +426,30 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
       }
       staged_fields_.clear();
     }
+    // Staged store columns travel with the run too: either they already rode
+    // the solver's own exchange (fields_carried - zero extra communication)
+    // or they go through the same resort machinery as the staged fields.
+    if (staged_store_ != nullptr) {
+      if (!solved.fields_carried && !store_done) {
+        PhaseScope phase(ctx, result.times, &PhaseTimes::resort, "fcs.resort",
+                         /*add_to_total=*/true);
+        if (resort_plan_.valid()) {
+          redist::FusedBatch batch(comm_, resort_plan_.plan(),
+                                   resort_plan_.placement());
+          staged_store_->stage_into(batch);
+          batch.execute();
+        } else {
+          staged_store_->resort_payload(comm_, resort_indices_,
+                                        resort_n_changed_, resort_kind_);
+        }
+        resort_field_count_ += staged_store_->payload_fields();
+      }
+      // Sync the row count (and the non-travelling position/key columns) to
+      // the changed distribution; the payload column buffers already hold
+      // exactly resort_n_changed_ rows.
+      staged_store_->resize(resort_n_changed_);
+      staged_store_ = nullptr;
+    }
     if (validate) validate_run(comm_, n_original, charge_sum_in, charges);
     feed_planner(/*resorted=*/true);
     result.resorted = true;
@@ -420,6 +486,20 @@ RunResult Fcs::run(std::vector<domain::Vec3>& positions,
     resort_indices_.clear();
     resort_plan_.reset();
     resort_n_changed_ = n_original;
+  }
+  // A restoring run normally leaves a staged store untouched, like the
+  // staged fields. The one exception is a capacity fallback AFTER the solver
+  // already carried the columns into its order: ship every row home again so
+  // the store matches the (restored) caller arrays.
+  if (staged_store_ != nullptr) {
+    if (solved.fields_carried) {
+      PhaseScope phase(ctx, result.times, &PhaseTimes::restore, "fcs.restore",
+                       /*add_to_total=*/true);
+      staged_store_->restore_payload(comm_, solved.origin, n_original,
+                                     redist::ExchangeKind::kDense);
+      staged_store_->resize(n_original);
+    }
+    staged_store_ = nullptr;
   }
   // Method A leaves positions/charges untouched, so count conservation is
   // trivial - but the checksum still guards against buffer corruption.
@@ -480,6 +560,11 @@ Fcs& Fcs::stage_ints(std::vector<std::int64_t>& values,
 Fcs& Fcs::stage_vec3(std::vector<domain::Vec3>& values) {
   staged_fields_.push_back(
       ResortBatch::Field{ResortBatch::Kind::kVec3, &values, 1});
+  return *this;
+}
+
+Fcs& Fcs::stage_store(store::ParticleStore& s) {
+  staged_store_ = &s;
   return *this;
 }
 

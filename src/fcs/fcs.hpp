@@ -28,6 +28,10 @@
 #include "plan/planner.hpp"
 #include "redist/resort.hpp"
 
+namespace store {
+class ParticleStore;
+}
+
 namespace fcs {
 
 class Fcs;
@@ -83,6 +87,17 @@ void set_task_mode(int enabled);
 /// set_task_slabs(0 = back to the environment).
 std::size_t task_slabs();
 void set_task_slabs(std::size_t slabs);
+
+/// Is the columnar particle store coupling (src/store) enabled? Reads
+/// FCS_STORE once (default OFF; set to 1 to keep per-particle fields in a
+/// staged store::ParticleStore whose columns travel inside the solver's own
+/// redistribution exchange) unless overridden by set_store_mode(). Must be
+/// consistent across ranks. Results are bit-identical to the legacy
+/// staged-field path.
+bool store_enabled();
+
+/// Override the env knob: 1 = on, 0 = off, -1 = back to the environment.
+void set_store_mode(int enabled);
 
 struct RunOptions {
   bool resort = false;             // method B
@@ -176,6 +191,22 @@ class Fcs {
   /// Fields currently queued for the next run.
   std::size_t staged_field_count() const { return staged_fields_.size(); }
 
+  /// Queue a columnar particle store for the next run: the store's payload
+  /// columns (everything except the built-in position and Morton-key
+  /// columns) travel WITH the run. When the solver's active path supports it
+  /// the columns ride inside the solver's own redistribution alltoallv
+  /// (SolveResult::fields_carried - no separate resort round at all);
+  /// otherwise they go through the same fused/legacy resort machinery as
+  /// stage_* fields. The store must hold exactly one row per local particle;
+  /// after a resorted run it holds the changed distribution's rows (the
+  /// position and key columns are NOT updated - refresh them from the
+  /// returned positions if needed). Staging is cleared by the run either
+  /// way; the store must stay alive until run() returns. Collective
+  /// symmetry: every rank stages a store with the same field layout.
+  Fcs& stage_store(store::ParticleStore& s);
+  /// The store queued for the next run (null when none).
+  store::ParticleStore* staged_store() const { return staged_store_; }
+
   /// The reusable exchange schedule of the last method-B run (invalid when
   /// fusion is off or the last run restored). Exposed for tests and
   /// benchmarks.
@@ -200,6 +231,8 @@ class Fcs {
   mutable std::size_t resort_field_count_ = 0;
   // Fields queued by stage_* for the next run (see stage_floats).
   std::vector<ResortBatch::Field> staged_fields_;
+  // Store queued by stage_store for the next run (not owned).
+  store::ParticleStore* staged_store_ = nullptr;
 };
 
 }  // namespace fcs

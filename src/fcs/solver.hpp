@@ -22,6 +22,7 @@
 #include "obs/obs.hpp"
 #include "plan/plan.hpp"
 #include "redist/atasp.hpp"
+#include "sortlib/carry.hpp"
 
 namespace lb {
 class Balancer;
@@ -155,6 +156,16 @@ struct SolveOptions {
   /// keeps them). The method field is consumed by the fcs layer, not here.
   /// Owned by the caller (fcs::Fcs::run stack frame).
   const plan::RedistPlan* plan = nullptr;
+  /// Columnar particle store payload (src/store): when non-null, the carry
+  /// set's rows are aligned with the input particles and the solver SHOULD
+  /// ship them inside its own redistribution exchange (setting
+  /// SolveResult::fields_carried). Solvers whose active path cannot carry
+  /// (merge-based sort, neighborhood exchange, balancer migration) leave the
+  /// columns untouched and return fields_carried = false; the fcs layer then
+  /// falls back to the plan-based column exchange. Whether a path can carry
+  /// is derived from rank-consistent inputs, so fields_carried agrees on
+  /// every rank.
+  sortlib::CarrySet* carry = nullptr;
 };
 
 /// Everything a solver returns, in SOLVER order and distribution.
@@ -172,6 +183,10 @@ struct SolveResult {
   /// has no such choice): the planner audit trail and tests read these.
   plan::SortAlgo sort_used = plan::SortAlgo::kAuto;
   plan::Exchange exchange_used = plan::Exchange::kAuto;
+  /// True when SolveOptions::carry columns travelled with the solver's own
+  /// redistribution: their rows are now aligned with this result's elements
+  /// (solver order), and no separate column exchange is needed.
+  bool fields_carried = false;
   PhaseTimes times;
 };
 

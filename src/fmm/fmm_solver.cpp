@@ -85,9 +85,11 @@ fcs::SolveStage FmmSolver::begin_solve(const mpi::Comm& comm,
                              "fmm.sort");
   std::vector<FmmParticle>& items = st->items;
   items.resize(positions.size());
+  std::vector<std::uint64_t> keys(positions.size());
+  domain::morton_keys_batch(box_, level_, positions.data(), positions.size(),
+                            keys.data());
   for (std::size_t i = 0; i < positions.size(); ++i)
-    items[i] = FmmParticle{positions[i], charges[i],
-                           domain::morton_key(box_, level_, positions[i]),
+    items[i] = FmmParticle{positions[i], charges[i], keys[i],
                            redist::make_index(comm.rank(), i)};
 
   lb::Balancer* const bal =
@@ -182,6 +184,13 @@ fcs::SolveStage FmmSolver::begin_solve(const mpi::Comm& comm,
     sparse_regime = incremental;
   } else if (use_merge) {
     sortlib::parallel_sort_merge(comm, items, key_fn);
+  } else if (options.carry != nullptr && !options.carry->empty()) {
+    // Columnar store payload: ship the columns inside the partition sort's
+    // own alltoallv (one exchange) instead of a separate resort round. The
+    // item result is bit-identical to the plain partition sort.
+    sortlib::parallel_sort_partition_carry(comm, items, key_fn,
+                                           *options.carry);
+    result.fields_carried = true;
   } else {
     sortlib::parallel_sort_partition(comm, items, key_fn);
   }

@@ -77,6 +77,15 @@ struct SimulationConfig {
   /// the redistribution share of a step. Not covered by checkpointing -
   /// leave at 0 when combining with rank-crash fault plans.
   std::size_t extra_vec3_fields = 0;
+  /// Columnar store coupling (src/store): keep the integrator fields
+  /// (velocities, accelerations, extra payload) in a store::ParticleStore
+  /// staged into every run, so they travel inside the solver's own
+  /// redistribution exchange when the active path can carry them - instead
+  /// of the separate staged-field resort round. The FCS_STORE env knob (or
+  /// fcs::set_store_mode) enables this too. Physics results and the final
+  /// state checksum are bit-identical to the legacy path. Not compatible
+  /// with checkpointing (the blob covers the legacy arrays only).
+  bool use_store = false;
 };
 
 /// Phase times of one fcs_run, reduced with max over ranks.
@@ -103,6 +112,12 @@ struct SimulationResult {
   /// execution (empty when planning is off). Identical on every rank; the
   /// CI determinism leg compares it across reruns.
   std::string plan_decisions;
+  /// Rank-LOCAL checksum of the final per-particle state (positions,
+  /// charges, velocities, accelerations, extra payload) - computed with no
+  /// communication, so it never perturbs the virtual-time makespans. For
+  /// the same inputs the legacy and the store path (use_store) produce the
+  /// same value on every rank; the fig7 store bit-identity leg compares it.
+  std::uint64_t state_checksum = 0;
 };
 
 /// Run the Figure 3 loop: tune, initial interactions, `steps` time steps.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <unordered_map>
 
@@ -12,6 +13,7 @@
 #include "pm/charge_grid.hpp"
 #include "redist/neighborhood.hpp"
 #include "redist/resort.hpp"
+#include "sortlib/local_sort.hpp"
 
 namespace pm {
 
@@ -187,6 +189,12 @@ fcs::SolveStage PmSolver::begin_solve(const mpi::Comm& comm,
       comm.allreduce(targets_ok ? 1 : 0, mpi::OpMin{}) == 1;
   last_used_neighborhood_ = neighborhood_ok;
 
+  // Carried column exchange (src/store) is only possible on the collective
+  // branch: the neighborhood path would need per-edge column packets. The
+  // gate is rank-consistent because neighborhood_ok is allreduced and the
+  // carry set's shape is symmetric across ranks.
+  const bool carrying = !neighborhood_ok && options.carry != nullptr &&
+                        !options.carry->empty();
   std::vector<PmParticle> received;
   if (neighborhood_ok) {
     std::vector<std::size_t> send_counts(static_cast<std::size_t>(comm.size()), 0);
@@ -206,6 +214,38 @@ fcs::SolveStage PmSolver::begin_solve(const mpi::Comm& comm,
     std::vector<std::size_t> recv_counts;
     received = redist::neighborhood_alltoallv(comm, neighbors, pk,
                                               send_counts, recv_counts);
+  } else if (carrying) {
+    // Ship the store's payload columns inside the same alltoallv as the
+    // particle records. Each copy (owner or ghost) carries the column row of
+    // its source particle (col_src); the owned-first truncation below drops
+    // the ghost duplicates again. The stable destination-major slot order
+    // matches ExchangePlan's packing, so the received particle sequence is
+    // byte-identical to the fine_grained_redistribute branch.
+    std::vector<PmParticle> plain(copies.size());
+    std::vector<std::size_t> dest_counts(
+        static_cast<std::size_t>(comm.size()), 0);
+    for (const Copy& cp : copies)
+      ++dest_counts[static_cast<std::size_t>(cp.target)];
+    std::vector<std::size_t> cursor(dest_counts.size() + 1, 0);
+    for (std::size_t d = 0; d < dest_counts.size(); ++d)
+      cursor[d + 1] = cursor[d] + dest_counts[d];
+    std::vector<std::uint32_t> slot_src(copies.size());
+    std::vector<std::uint32_t> col_src(copies.size());
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      plain[i] = copies[i].particle;
+      const std::size_t slot =
+          cursor[static_cast<std::size_t>(copies[i].target)]++;
+      slot_src[slot] = static_cast<std::uint32_t>(i);
+      col_src[slot] = redist::index_pos(copies[i].particle.origin);
+    }
+    std::vector<std::byte> out_items;
+    sortlib::carry_exchange(comm, /*sparse=*/false,
+                            reinterpret_cast<const std::byte*>(plain.data()),
+                            sizeof(PmParticle), plain.size(), dest_counts,
+                            slot_src.data(), col_src.data(), *options.carry,
+                            out_items);
+    received.resize(out_items.size() / sizeof(PmParticle));
+    std::memcpy(received.data(), out_items.data(), out_items.size());
   } else {
     std::vector<PmParticle> plain(copies.size());
     for (std::size_t i = 0; i < copies.size(); ++i) plain[i] = copies[i].particle;
@@ -221,9 +261,26 @@ fcs::SolveStage PmSolver::begin_solve(const mpi::Comm& comm,
   auto is_owned = [](const PmParticle& pt) {
     return (pt.origin & kGhostBit) == 0;
   };
-  std::stable_partition(received.begin(), received.end(), is_owned);
   std::size_t n_owned = 0;
-  while (n_owned < received.size() && is_owned(received[n_owned])) ++n_owned;
+  if (carrying) {
+    // Explicit stable owned-first permutation (same result as the
+    // stable_partition branch) so the carried columns reorder identically,
+    // then drop the ghost rows from the columns.
+    std::vector<std::uint32_t> perm;
+    perm.reserve(received.size());
+    for (std::size_t i = 0; i < received.size(); ++i)
+      if (is_owned(received[i])) perm.push_back(static_cast<std::uint32_t>(i));
+    n_owned = perm.size();
+    for (std::size_t i = 0; i < received.size(); ++i)
+      if (!is_owned(received[i])) perm.push_back(static_cast<std::uint32_t>(i));
+    received = sortlib::apply_permutation(received, perm);
+    options.carry->permute(perm.data(), perm.size());
+    options.carry->resize_rows(n_owned);
+    result.fields_carried = true;
+  } else {
+    std::stable_partition(received.begin(), received.end(), is_owned);
+    while (n_owned < received.size() && is_owned(received[n_owned])) ++n_owned;
+  }
   sort_phase.stop();
 
   // Everything the fcs layer needs BEFORE the compute phase: the origin

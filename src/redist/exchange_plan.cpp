@@ -146,12 +146,9 @@ void FusedBatch::execute() {
       pos += sizeof h;
       const std::size_t first = plan.send_offsets_[static_cast<std::size_t>(d)];
       for (const Segment& s : segments_) {
-        for (std::size_t k = 0; k < items; ++k)
-          std::memcpy(send_buf.data() + pos + k * s.item_bytes,
-                      s.src + static_cast<std::size_t>(
-                                  plan.slot_src_[first + k]) *
-                                  s.item_bytes,
-                      s.item_bytes);
+        sortlib::gather_rows(s.src, send_buf.data() + pos,
+                             plan.slot_src_.data() + first, items,
+                             s.item_bytes);
         if (validate)
           sent_sum += content_checksum(send_buf.data() + pos, items,
                                        s.item_bytes);
@@ -196,16 +193,12 @@ void FusedBatch::execute() {
           plan.recv_offsets_[static_cast<std::size_t>(src)];
       for (std::size_t s = 0; s < nseg; ++s) {
         const std::size_t ib = segments_[s].item_bytes;
-        if (placement_ == nullptr) {
+        if (placement_ == nullptr)
           std::memcpy(out_ptr[s] + slot0 * ib, recv_buf.data() + pos,
                       items * ib);
-        } else {
-          for (std::size_t k = 0; k < items; ++k)
-            std::memcpy(out_ptr[s] +
-                            static_cast<std::size_t>(placement_[slot0 + k]) *
-                                ib,
-                        recv_buf.data() + pos + k * ib, ib);
-        }
+        else
+          sortlib::scatter_rows(recv_buf.data() + pos, out_ptr[s],
+                                placement_ + slot0, items, ib);
         if (validate)
           recv_sum += content_checksum(recv_buf.data() + pos, items, ib);
         pos += items * ib;
@@ -302,11 +295,8 @@ void FusedBatch::async_pack(std::size_t k) {
     pos += sizeof h;
     const std::size_t first = plan.send_offsets_[static_cast<std::size_t>(d)];
     for (const Segment& s : segments_) {
-      for (std::size_t j = 0; j < items; ++j)
-        std::memcpy(sl.send_buf->data() + pos + j * s.item_bytes,
-                    s.src + static_cast<std::size_t>(plan.slot_src_[first + j]) *
-                                s.item_bytes,
-                    s.item_bytes);
+      sortlib::gather_rows(s.src, sl.send_buf->data() + pos,
+                           plan.slot_src_.data() + first, items, s.item_bytes);
       if (async_->validate)
         async_->sent_sum +=
             content_checksum(sl.send_buf->data() + pos, items, s.item_bytes);
@@ -373,16 +363,12 @@ void FusedBatch::async_finish() {
           plan.recv_offsets_[static_cast<std::size_t>(src)];
       for (std::size_t s = 0; s < nseg; ++s) {
         const std::size_t ib = segments_[s].item_bytes;
-        if (placement_ == nullptr) {
+        if (placement_ == nullptr)
           std::memcpy(out_ptr[s] + slot0 * ib, sl.recv_buf->data() + pos,
                       items * ib);
-        } else {
-          for (std::size_t j = 0; j < items; ++j)
-            std::memcpy(out_ptr[s] +
-                            static_cast<std::size_t>(placement_[slot0 + j]) *
-                                ib,
-                        sl.recv_buf->data() + pos + j * ib, ib);
-        }
+        else
+          sortlib::scatter_rows(sl.recv_buf->data() + pos, out_ptr[s],
+                                placement_ + slot0, items, ib);
         if (async_->validate)
           recv_sum += content_checksum(sl.recv_buf->data() + pos, items, ib);
         pos += items * ib;

@@ -35,6 +35,7 @@
 #include "minimpi/comm.hpp"
 #include "obs/obs.hpp"
 #include "redist/conserve.hpp"
+#include "sortlib/carry.hpp"
 
 namespace redist {
 
@@ -201,10 +202,9 @@ class ExchangePlan {
             content_checksum(packed.data(), slot_src_.size(), item_bytes),
             n_recv_total(),
             content_checksum(staged.data(), n_recv_total(), item_bytes));
-      for (std::size_t k = 0; k < n_recv_total(); ++k)
-        std::memcpy(reinterpret_cast<std::byte*>(out.data()) +
-                        static_cast<std::size_t>(placement[k]) * item_bytes,
-                    staged.data() + k * item_bytes, item_bytes);
+      sortlib::scatter_rows(staged.data(),
+                            reinterpret_cast<std::byte*>(out.data()),
+                            placement, n_recv_total(), item_bytes);
     }
     return out;
   }
@@ -212,14 +212,12 @@ class ExchangePlan {
  private:
   friend class FusedBatch;
 
-  /// Gather payload items into destination-major slot order.
+  /// Gather payload items into destination-major slot order (one
+  /// width-specialized contiguous pass; see sortlib::gather_rows).
   void pack_into(const void* data, std::size_t item_bytes,
                  std::byte* out) const {
-    const auto* base = static_cast<const std::byte*>(data);
-    for (std::size_t k = 0; k < slot_src_.size(); ++k)
-      std::memcpy(out + k * item_bytes,
-                  base + static_cast<std::size_t>(slot_src_[k]) * item_bytes,
-                  item_bytes);
+    sortlib::gather_rows(static_cast<const std::byte*>(data), out,
+                         slot_src_.data(), slot_src_.size(), item_bytes);
   }
 
   /// Counts -> byte counts, into a reused scratch vector.
@@ -282,6 +280,22 @@ class FusedBatch {
       v->resize(n_bytes / sizeof(T));
       return reinterpret_cast<std::byte*>(v->data());
     };
+    segments_.push_back(seg);
+  }
+
+  /// Untyped variant for columnar payloads (the particle store's byte
+  /// columns): `src` holds one item_bytes row per plan input item;
+  /// `resize_out(ctx, n_bytes)` must resize the output storage and return
+  /// its base pointer. Same aliasing guarantee as add(): outputs are
+  /// resized/written only after every segment is packed.
+  void add_raw(const std::byte* src, std::size_t item_bytes, void* out_ctx,
+               std::byte* (*resize_out)(void* ctx, std::size_t n_bytes)) {
+    FCS_CHECK(item_bytes > 0, "FusedBatch: zero-width raw segment");
+    Segment seg;
+    seg.src = src;
+    seg.item_bytes = item_bytes;
+    seg.out_vec = out_ctx;
+    seg.resize_out = resize_out;
     segments_.push_back(seg);
   }
 

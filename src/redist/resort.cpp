@@ -90,4 +90,65 @@ std::vector<std::uint64_t> invert_origin_indices(
   return resort_indices;
 }
 
+void resort_values_bytes(const mpi::Comm& comm,
+                         const std::vector<std::uint64_t>& resort_indices,
+                         const std::byte* data, std::size_t item_bytes,
+                         std::size_t n_changed, ExchangeKind kind,
+                         std::vector<std::byte>& out) {
+  const int p = comm.size();
+  const std::size_t elem_bytes = sizeof(std::uint32_t) + item_bytes;
+
+  std::vector<std::size_t> send_bytes(static_cast<std::size_t>(p), 0);
+  for (std::uint64_t idx : resort_indices) {
+    const int r = index_rank(idx);
+    FCS_CHECK(r >= 0 && r < p, "resort index names invalid rank " << r);
+    send_bytes[static_cast<std::size_t>(r)] += elem_bytes;
+  }
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int d = 0; d < p; ++d)
+    offsets[static_cast<std::size_t>(d) + 1] =
+        offsets[static_cast<std::size_t>(d)] +
+        send_bytes[static_cast<std::size_t>(d)];
+  std::vector<std::byte> packed(offsets.back());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < resort_indices.size(); ++i) {
+    const std::uint64_t idx = resort_indices[i];
+    std::size_t& c = cursor[static_cast<std::size_t>(index_rank(idx))];
+    const std::uint32_t pos = index_pos(idx);
+    std::memcpy(packed.data() + c, &pos, sizeof pos);
+    std::memcpy(packed.data() + c + sizeof pos, data + i * item_bytes,
+                item_bytes);
+    c += elem_bytes;
+  }
+
+  std::vector<std::size_t> recv_bytes;
+  std::vector<std::byte> received =
+      kind == ExchangeKind::kDense
+          ? comm.alltoallv_bytes(packed.data(), send_bytes, recv_bytes)
+          : comm.sparse_alltoallv_bytes(packed.data(), send_bytes, recv_bytes);
+  if (validation_enabled())
+    validate_exchange(
+        comm, "resort_values", packed.size() / elem_bytes,
+        content_checksum(packed.data(), packed.size() / elem_bytes, elem_bytes),
+        received.size() / elem_bytes,
+        content_checksum(received.data(), received.size() / elem_bytes,
+                         elem_bytes));
+
+  FCS_CHECK(received.size() == n_changed * elem_bytes,
+            "resort: expected " << n_changed << " packets, received "
+                                << received.size() / elem_bytes);
+  out.resize(n_changed * item_bytes);
+  std::vector<char> filled(n_changed, 0);
+  for (std::size_t off = 0; off < received.size(); off += elem_bytes) {
+    std::uint32_t pos = 0;
+    std::memcpy(&pos, received.data() + off, sizeof pos);
+    FCS_CHECK(pos < n_changed, "resort: target position " << pos
+                  << " out of range " << n_changed);
+    FCS_CHECK(!filled[pos], "resort: duplicate packet for position " << pos);
+    filled[pos] = 1;
+    std::memcpy(out.data() + pos * item_bytes,
+                received.data() + off + sizeof pos, item_bytes);
+  }
+}
+
 }  // namespace redist

@@ -133,6 +133,18 @@ class ResortPlan {
   bool valid_ = false;
 };
 
+/// Byte-generic twin of resort_values for the particle store's untyped
+/// columns: one `item_bytes` row per original particle instead of
+/// `components` values of T. The packet layout (4-byte position header +
+/// payload) and the exchange are exactly those of resort_values, so for any
+/// T with components * sizeof(T) == item_bytes the result bytes are
+/// identical. `out` is resized to n_changed rows.
+void resort_values_bytes(const mpi::Comm& comm,
+                         const std::vector<std::uint64_t>& resort_indices,
+                         const std::byte* data, std::size_t item_bytes,
+                         std::size_t n_changed, ExchangeKind kind,
+                         std::vector<std::byte>& out);
+
 /// fcs_resort_floats / fcs_resort_ints: move additional per-particle data to
 /// the changed order and distribution. `resort_indices[i]` names the target
 /// (rank, position) of original particle i; `data` holds `components` values

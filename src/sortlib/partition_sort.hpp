@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "sortlib/carry.hpp"
 #include "sortlib/local_sort.hpp"
 
 namespace sortlib {
@@ -108,6 +110,93 @@ void parallel_sort_partition(
   }
   if (run_starts.empty()) run_starts.push_back(0);
   merge_runs(received, std::move(run_starts), key);
+  items = std::move(received);
+}
+
+/// parallel_sort_partition with attached payload columns: the carry set's
+/// rows (aligned with `items`) follow the items through the local sort, the
+/// partition exchange and the merge, so after the call column row k still
+/// belongs to items[k]. The splitter collectives are identical to the
+/// plain variant and the item result is bit-identical to it (the local sort
+/// and the merge are realized as THE stable permutation, which is unique);
+/// only the data exchange differs - one alltoallv carrying
+/// [items][col0][col1]... per destination instead of an items-only payload
+/// plus a later per-field resort round.
+template <class T, class KeyFn>
+void parallel_sort_partition_carry(
+    const mpi::Comm& comm, std::vector<T>& items, KeyFn key, CarrySet& carry,
+    const std::vector<std::uint64_t>* target_counts = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Local sort as an explicit stable permutation. Items and keys are
+  // materialized in sorted order (the splitter search needs them); the
+  // COLUMNS are not permuted here - the exchange pack below gathers their
+  // rows through `order` directly, fusing the resort permute into the pack
+  // (one gather instead of permute + copy-back + identity pack). The packed
+  // bytes are identical either way. Equal keys keep their input order,
+  // exactly like sort_by_key.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(items.size());
+  for (const T& item : items) keys.push_back(key(item));
+  const std::vector<std::uint32_t> order = radix_sort_permutation(keys);
+  items = apply_permutation(items, order);
+  keys = apply_permutation(keys, order);
+  const int p = comm.size();
+  if (p == 1) {
+    carry.permute(order.data(), order.size());
+    return;
+  }
+
+  const std::uint64_t n_total =
+      comm.allreduce(static_cast<std::uint64_t>(items.size()), mpi::OpSum{});
+
+  std::vector<std::uint64_t> target_prefix;
+  if (target_counts != nullptr) {
+    FCS_CHECK(static_cast<int>(target_counts->size()) == p,
+              "need one target count per rank");
+    target_prefix.resize(static_cast<std::size_t>(p) - 1);
+    std::uint64_t acc = 0;
+    std::uint64_t total_targets = 0;
+    for (std::uint64_t c : *target_counts) total_targets += c;
+    FCS_CHECK(total_targets == n_total, "target counts must sum to the global "
+                  "element count (" << n_total << "), got " << total_targets);
+    for (int s = 0; s + 1 < p; ++s) {
+      acc += (*target_counts)[static_cast<std::size_t>(s)];
+      target_prefix[static_cast<std::size_t>(s)] = acc;
+    }
+  } else {
+    target_prefix = balanced_target_prefix(n_total, p);
+  }
+
+  const std::vector<std::size_t> bounds =
+      exact_split_boundaries(comm, keys, target_prefix);
+
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d)
+    send_counts[static_cast<std::size_t>(d)] =
+        bounds[static_cast<std::size_t>(d) + 1] - bounds[static_cast<std::size_t>(d)];
+
+  // Items are already contiguous in destination order (sorted, contiguous
+  // splitter segments), so the carried exchange ships them identity-packed;
+  // the column rows are gathered through the sort order in the pack itself
+  // (the fused gather-permute - columns still hold the pre-sort row order).
+  std::vector<std::byte> received_bytes;
+  carry_exchange(comm, /*sparse=*/false,
+                 reinterpret_cast<const std::byte*>(items.data()), sizeof(T),
+                 items.size(), send_counts, nullptr, order.data(), carry,
+                 received_bytes);
+  std::vector<T> received(received_bytes.size() / sizeof(T));
+  if (!received_bytes.empty())
+    std::memcpy(received.data(), received_bytes.data(), received_bytes.size());
+
+  // Each source's block arrives sorted; the stable radix permutation of the
+  // received keys IS the stable merge of those runs - apply it to items and
+  // columns alike.
+  keys.clear();
+  keys.reserve(received.size());
+  for (const T& item : received) keys.push_back(key(item));
+  const std::vector<std::uint32_t> merge_order = radix_sort_permutation(keys);
+  received = apply_permutation(received, merge_order);
+  carry.permute(merge_order.data(), merge_order.size());
   items = std::move(received);
 }
 

@@ -1,0 +1,64 @@
+#include "store/field_registry.hpp"
+
+#include "support/error.hpp"
+
+namespace store {
+
+std::size_t field_type_bytes(FieldType t) {
+  switch (t) {
+    case FieldType::kF64: return 8;
+    case FieldType::kI64: return 8;
+    case FieldType::kU64: return 8;
+    case FieldType::kVec3: return 24;
+  }
+  FCS_CHECK(false, "unknown field type");
+  return 0;
+}
+
+const char* field_type_name(FieldType t) {
+  switch (t) {
+    case FieldType::kF64: return "f64";
+    case FieldType::kI64: return "i64";
+    case FieldType::kU64: return "u64";
+    case FieldType::kVec3: return "vec3";
+  }
+  return "?";
+}
+
+std::size_t FieldRegistry::add(std::string_view name, FieldType type,
+                               std::size_t components) {
+  FCS_CHECK(!name.empty(), "field registration needs a non-empty name");
+  FCS_CHECK(components >= 1, "field '" << std::string(name)
+                << "' registered with zero components");
+  FCS_CHECK(!contains(name), "field '" << std::string(name)
+                << "' registered twice (fields register once per run)");
+  FieldSpec spec;
+  spec.name = std::string(name);
+  spec.type = type;
+  spec.components = components;
+  spec.item_bytes = components * field_type_bytes(type);
+  fields_.push_back(std::move(spec));
+  return fields_.size() - 1;
+}
+
+bool FieldRegistry::contains(std::string_view name) const {
+  for (const FieldSpec& f : fields_)
+    if (f.name == name) return true;
+  return false;
+}
+
+std::size_t FieldRegistry::id_of(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    if (fields_[i].name == name) return i;
+  FCS_CHECK(false, "lookup of unregistered field '" << std::string(name)
+                << "' (" << fields_.size() << " fields registered)");
+  return 0;
+}
+
+const FieldSpec& FieldRegistry::spec(std::size_t id) const {
+  FCS_CHECK(id < fields_.size(), "field id " << id << " out of range ("
+                << fields_.size() << " fields registered)");
+  return fields_[id];
+}
+
+}  // namespace store

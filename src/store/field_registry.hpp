@@ -1,0 +1,50 @@
+// Typed field registry for the columnar particle store.
+//
+// Fields register ONCE per run (before the store holds any rows), not per
+// call: the registry maps a stable field id to its name, element type and
+// per-row width, and every later lookup is a bounds-checked array access.
+// Misuse (duplicate names, zero-width fields, unknown lookups) raises
+// fcs::Error instead of silently corrupting column layouts - the store fuzz
+// driver (tests/test_store_prop.cpp) exercises exactly these paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace store {
+
+enum class FieldType { kF64, kI64, kU64, kVec3 };
+
+/// Bytes of one component of the given type.
+std::size_t field_type_bytes(FieldType t);
+const char* field_type_name(FieldType t);
+
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kF64;
+  std::size_t components = 1;
+  /// components * field_type_bytes(type): bytes of one column row.
+  std::size_t item_bytes = 0;
+};
+
+class FieldRegistry {
+ public:
+  /// Register a field; returns its id (dense, starting at 0). Names must be
+  /// non-empty and unique, components >= 1.
+  std::size_t add(std::string_view name, FieldType type,
+                  std::size_t components = 1);
+
+  bool contains(std::string_view name) const;
+  /// Id of a registered field; raises fcs::Error for unknown names.
+  std::size_t id_of(std::string_view name) const;
+  /// Spec of a registered field; raises fcs::Error for out-of-range ids.
+  const FieldSpec& spec(std::size_t id) const;
+  std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+}  // namespace store

@@ -99,9 +99,10 @@ template <class T>
 void expect_bytes_equal(const std::vector<T>& a, const std::vector<T>& b,
                         const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
-  if (!a.empty())
+  if (!a.empty()) {
     EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0)
         << what;
+  }
 }
 
 class ExchangeProp
@@ -256,9 +257,11 @@ TEST_P(ExchangeProp, RepeatedAppliesAreStableAndStopAllocating) {
   const auto reduced = rec->reduce_counters();
   const auto it = reduced.find("pool.alloc");
   if (it != reduced.end()) {
-    for (const auto& [epoch, summary] : it->second.by_epoch)
-      if (epoch >= 2)
+    for (const auto& [epoch, summary] : it->second.by_epoch) {
+      if (epoch >= 2) {
         EXPECT_EQ(summary.sum, 0.0) << "pool.alloc grew in epoch " << epoch;
+      }
+    }
   }
 }
 

@@ -354,9 +354,10 @@ template <class T>
 void expect_bits_equal(const std::vector<T>& a, const std::vector<T>& b,
                        const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
-  if (!a.empty())
+  if (!a.empty()) {
     EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0)
         << what;
+  }
 }
 
 }  // namespace
